@@ -1,0 +1,176 @@
+"""E10 — ablations of the design choices DESIGN.md calls out.
+
+Not a table from the paper; this bench quantifies, on the paper's own
+workloads, the machinery the paper argues for:
+
+* **clause axioms + distinctions** (section 5): without the select/store-
+  style clause machinery (here: the byte-mask commuting clauses) the
+  byteswap4 E-graph lacks the or-tree derivations and the best schedule
+  degrades from 5 to 8 cycles;
+* **constant synthesis** (Figure 2(b)): without the ``4 = 2**2`` step the
+  shift/scaled-add axioms cannot fire and ``reg6*4+1`` costs a 7-cycle
+  multiply;
+* **architectural axioms** (section 4): with no axioms at all, goals
+  phrased with non-machine operators are not computable, period;
+* **cluster modelling** (sections 6-8): turning off the cross-cluster
+  delay shows how much of the schedule length the EV6's register-bank
+  geometry costs;
+* **encoding strictness** (section 6): the one-directional availability
+  definition gives the same answers as the full biconditional with fewer
+  clauses.
+"""
+
+import pytest
+
+from repro import Denali, DenaliConfig, ev6, const, inp, mk
+from repro.axioms import (
+    AxiomSet,
+    alpha_axioms,
+    constant_synthesis_axioms,
+    math_axioms,
+)
+from repro.axioms.axiom import AxiomClause
+from repro.egraph import EGraph
+from repro.encode import EncodeError, EncodingOptions, encode_schedule
+from repro.matching import saturate
+from repro.sat import CdclSolver
+from repro.terms import default_registry
+from repro.util import format_table
+
+from benchmarks.conftest import byteswap_goal, default_config
+
+
+def _compile(term, axioms=None, spec=None, saturation_tweak=None, **cfg_kwargs):
+    cfg = default_config(**cfg_kwargs)
+    if saturation_tweak:
+        saturation_tweak(cfg.saturation)
+    den = Denali(spec or ev6(), axioms=axioms, config=cfg)
+    return den.compile_term(term)
+
+
+def test_ablations(report, benchmark):
+    reg = default_registry()
+    rows = []
+
+    # -- clause axioms on byteswap4 -------------------------------------
+    full = _compile(byteswap_goal(4), min_cycles=4, max_cycles=9)
+    no_clauses = AxiomSet(
+        [ax for ax in (math_axioms(reg) + constant_synthesis_axioms(reg)
+                       + alpha_axioms(reg))
+         if not isinstance(ax, AxiomClause)],
+        "no-clauses",
+    )
+    without = _compile(
+        byteswap_goal(4), axioms=no_clauses, min_cycles=4, max_cycles=9
+    )
+    assert full.cycles == 5 and full.verified
+    assert without.verified
+    assert without.cycles > full.cycles
+    rows.append(
+        [
+            "clause axioms (byteswap4)",
+            "%d cycles" % full.cycles,
+            "%d cycles" % without.cycles,
+        ]
+    )
+
+    # -- constant synthesis (Figure 2(b)'s "4 = 2**2" step) ----------------
+    # a*16 has no scaled-add escape hatch: without the synthesised pow
+    # node the shift axiom cannot fire and only the 7-cycle multiply
+    # remains.  (reg6*4+1 itself would still be saved by the s4addq
+    # axiom, which matches the multiplication directly.)
+    times16 = mk("mul64", inp("a"), const(16))
+    with_synth = _compile(times16, min_cycles=1, max_cycles=8)
+
+    def no_synth(sat_cfg):
+        sat_cfg.synthesize_constants = False
+
+    without_synth = _compile(
+        times16, min_cycles=1, max_cycles=9, saturation_tweak=no_synth
+    )
+    assert with_synth.cycles == 1  # sll
+    assert without_synth.cycles == 7  # mulq
+    assert with_synth.verified and without_synth.verified
+    rows.append(
+        [
+            "constant synthesis (a*16)",
+            "%d cycle (sll)" % with_synth.cycles,
+            "%d cycles (mulq)" % without_synth.cycles,
+        ]
+    )
+
+    # -- byte-mask synthesis ------------------------------------------------
+    mask = mk("and64", inp("a"), const(0xFFFFFFFFFFFFFF00))
+    with_masks = _compile(mask, min_cycles=1, max_cycles=4)
+
+    def no_masks(sat_cfg):
+        sat_cfg.synthesize_byte_masks = False
+
+    without_masks = _compile(
+        mask, min_cycles=1, max_cycles=4, saturation_tweak=no_masks
+    )
+    assert with_masks.cycles == 1  # zapnot
+    assert without_masks.cycles == 2  # ldiq + and
+    rows.append(
+        [
+            "byte-mask synthesis (a & ~0xff)",
+            "%d cycle (zapnot)" % with_masks.cycles,
+            "%d cycles (ldiq+and)" % without_masks.cycles,
+        ]
+    )
+
+    # -- no axioms at all: non-machine goals are uncomputable ---------------
+    eg = EGraph()
+    goal = eg.add_term(byteswap_goal(4))
+    with pytest.raises(EncodeError):
+        encode_schedule(eg, ev6(), [goal], 8)
+    rows.append(
+        ["architectural axioms (byteswap4)", "5 cycles", "uncomputable"]
+    )
+
+    # -- cluster modelling -----------------------------------------------------
+    single_cluster = ev6()
+    single_cluster.cross_cluster_delay = 0
+    merged = _compile(
+        byteswap_goal(4), spec=single_cluster, min_cycles=3, max_cycles=9
+    )
+    assert merged.verified
+    assert merged.cycles <= full.cycles
+    rows.append(
+        [
+            "cross-cluster delay (byteswap4)",
+            "%d cycles (delay 1)" % full.cycles,
+            "%d cycles (delay 0)" % merged.cycles,
+        ]
+    )
+
+    # -- strict vs loose availability encoding -------------------------------
+    reg2 = default_registry()
+    axioms = math_axioms(reg2) + constant_synthesis_axioms(reg2) + alpha_axioms(reg2)
+    eg2 = EGraph()
+    goal2 = eg2.add_term(byteswap_goal(4))
+    saturate(eg2, axioms, reg2, default_config().saturation)
+    loose = encode_schedule(eg2, ev6(), [goal2], 5)
+    strict = encode_schedule(
+        eg2, ev6(), [goal2], 5, options=EncodingOptions(strict_availability=True)
+    )
+    r_loose = CdclSolver().solve(loose.cnf)
+    r_strict = CdclSolver().solve(strict.cnf)
+    assert r_loose.satisfiable == r_strict.satisfiable is True
+    assert len(loose.cnf.clauses) < len(strict.cnf.clauses)
+    rows.append(
+        [
+            "one-directional B definition (K=5 CNF)",
+            "%d clauses" % len(loose.cnf.clauses),
+            "%d clauses (biconditional)" % len(strict.cnf.clauses),
+        ]
+    )
+
+    benchmark(
+        lambda: _compile(times16, min_cycles=1, max_cycles=2).cycles
+    )
+
+    report(
+        "E10 ablations of Denali's design choices",
+        format_table(["mechanism", "with", "without / alternative"], rows),
+    )

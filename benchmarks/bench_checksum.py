@@ -1,0 +1,103 @@
+"""E5 — the packet checksum routine (paper section 8, Figures 5 and 6).
+
+Paper: "Denali took about 4 hours to generate code for this program; the
+code for the loop body consisted of 10 cycles and 31 instructions."
+
+Reproduced claims: the Figure 6 program (program-local ``add``/``carry``
+axioms, unrolled and software-pipelined loop) compiles end-to-end, the
+loop body is proved optimal for its unroll factor, and the generated code
+verifies.  We run the 2x-unrolled body as the benchmark default (pure
+Python; the paper's 4x body is run by the example script) and report the
+measured instruction and cycle counts next to the paper's 4x numbers.
+"""
+
+from repro import (
+    AxiomSet,
+    Denali,
+    ev6,
+    parse_program,
+    translate_procedure,
+)
+from repro.axioms import alpha_axioms, constant_synthesis_axioms, math_axioms
+from repro.util import format_table
+
+from benchmarks.conftest import default_config
+
+SOURCE = r"""
+(\opdecl carry (long long) long)
+(\axiom (forall (a b) (pats (carry a b))
+    (eq (carry a b) (\cmpult (\add64 a b) a))))
+(\axiom (forall (a b) (pats (carry a b))
+    (eq (carry a b) (\cmpult (\add64 a b) b))))
+(\opdecl add (long long) long)
+(\axiom (forall (a b c) (pats (add a (add b c)))
+    (eq (add a (add b c)) (add (add a b) c))))
+(\axiom (forall (a b c) (pats (add (add a b) c))
+    (eq (add a (add b c)) (add (add a b) c))))
+(\axiom (forall (a b) (pats (add a b))
+    (eq (add a b) (add b a))))
+(\axiom (forall (a b) (pats (add a b))
+    (eq (add a b) (\add64 (\add64 a b) (carry a b)))))
+
+(\procdecl checksum ((ptr (\ref long)) (ptrend (\ref long))) short
+  (\var (sum long 0)
+  (\var (v1 long (\deref ptr))
+  (\semi
+    (\unroll 2 (\do (-> (< ptr ptrend)
+      (\semi
+        (:= (sum (add sum v1)))
+        (:= (ptr (+ ptr 8)))
+        (:= (v1 (\deref ptr)))))))
+    (:= (sum (+ (\selectw sum 0)
+                (+ (\selectw sum 1)
+                   (+ (\selectw sum 2) (\selectw sum 3))))))
+    (:= (sum (+ (\selectw sum 0) (\selectw sum 1))))
+    (:= (\res (\cast short sum)))))))
+"""
+
+
+def _compile_loop():
+    program = parse_program(SOURCE)
+    gmas = dict(
+        translate_procedure(program.procedure("checksum"), program.registry)
+    )
+    axioms = (
+        math_axioms(program.registry)
+        + constant_synthesis_axioms(program.registry)
+        + alpha_axioms(program.registry)
+        + AxiomSet(program.axioms, "checksum-local")
+    )
+    cfg = default_config(min_cycles=6, max_cycles=10)
+    cfg.saturation.max_rounds = 8
+    cfg.saturation.max_enodes = 2500
+    den = Denali(ev6(), axioms=axioms, registry=program.registry, config=cfg)
+    return den.compile_gma(gmas["checksum.loop0"]), gmas
+
+
+def test_checksum_loop_body(report, benchmark):
+    result, gmas = _compile_loop()
+    assert result.verified
+    assert result.optimal
+    assert result.cycles <= 8
+    # The body must contain the carry-wraparound pattern: loads, adds and a
+    # cmpult computing the carry.
+    mnemonics = [i.mnemonic for i in result.schedule.instructions]
+    assert mnemonics.count("ldq") == 2  # one load per unrolled iteration
+    assert "cmpult" in mnemonics
+    assert "addq" in mnemonics
+
+    benchmark(lambda: _compile_loop()[0].cycles)
+
+    rows = [
+        ["unroll factor", "4 (hand-pipelined)", "2 (hand-pipelined)"],
+        ["loop body instructions", "31", str(result.schedule.instruction_count())],
+        ["loop body cycles", "10", str(result.cycles)],
+        ["optimal for its E-graph", "near-optimal", "yes" if result.optimal else "no"],
+        ["verified", "correct by design", "yes" if result.verified else "NO"],
+        ["compile time", "~4 hours (667 MHz Alpha)", "%.1f s (Python)" % result.elapsed_seconds],
+    ]
+    report(
+        "E5 checksum loop body (paper Fig. 5/6)",
+        format_table(["quantity", "paper (unroll 4)", "measured (unroll 2)"], rows)
+        + "\n\n" + result.assembly,
+    )

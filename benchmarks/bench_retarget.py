@@ -1,0 +1,69 @@
+"""E11 — retargeting (paper section 1.1).
+
+Paper: "We are currently making the changes necessary to target the Intel
+Itanium architecture.  It appears that this shift will not require any
+radical changes (and the changes will mostly be to the axioms)."
+
+Reproduced claim: the same goal terms and the *same axiom files* compile
+for a second, structurally different target (no byte-manipulation
+instructions, different units/latencies, flat clusters) by swapping only
+the architectural description — and the code generator exploits each
+target's idioms (EV6 ``extbl``/``insbl`` vs. Itanium-style
+shift-and-mask, ``s4addq`` vs. ``shladd``).
+"""
+
+from repro import Denali, const, ev6, inp, itanium_like, mk
+from repro.util import format_table
+
+from benchmarks.conftest import byteswap_goal, default_config
+
+
+PROBLEMS = [
+    ("reg6*4+1 (Fig. 2)",
+     mk("add64", mk("mul64", inp("x"), const(4)), const(1)), 1, 6),
+    ("a*16", mk("mul64", inp("a"), const(16)), 1, 6),
+    ("byteswap2", byteswap_goal(2), 2, 7),
+    ("byteswap3", byteswap_goal(3), 2, 8),
+]
+
+
+def _compile(term, spec, lo, hi):
+    cfg = default_config(min_cycles=lo, max_cycles=hi)
+    return Denali(spec, config=cfg).compile_term(term)
+
+
+def test_retarget_itanium(report, benchmark):
+    rows = []
+    for name, term, lo, hi in PROBLEMS:
+        alpha = _compile(term, ev6(), lo, hi)
+        it = _compile(term, itanium_like(), lo, hi)
+        assert alpha.verified and it.verified, name
+        assert alpha.optimal and it.optimal, name
+        rows.append(
+            [
+                name,
+                "%d cyc (%s)" % (
+                    alpha.cycles, alpha.schedule.instructions[0].mnemonic
+                ) if alpha.schedule.instructions else "free",
+                "%d cyc (%s)" % (
+                    it.cycles, it.schedule.instructions[0].mnemonic
+                ) if it.schedule.instructions else "free",
+            ]
+        )
+
+    # Byte ops exist only on the Alpha; the Itanium-like code must not
+    # reference them.
+    it_bs = _compile(byteswap_goal(2), itanium_like(), 2, 7)
+    mnemonics = {i.mnemonic for i in it_bs.schedule.instructions}
+    assert mnemonics <= {"shl", "shr.u", "and", "or", "movl"}
+
+    benchmark(
+        lambda: _compile(PROBLEMS[0][1], itanium_like(), 1, 2).cycles
+    )
+
+    report(
+        "E11 retargeting: same axioms, different architectural tables",
+        format_table(["problem", "Alpha EV6", "Itanium-like"], rows)
+        + "\npaper: 'the changes will mostly be to the axioms' — here the "
+        "axioms did not change at all.",
+    )

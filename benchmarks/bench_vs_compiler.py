@@ -1,0 +1,84 @@
+"""E3 — Denali vs. the production compiler (paper section 8).
+
+Paper: "With some effort, we were able to coax the production C compiler
+to tie this result [5 cycles for byteswap4], giving it aggressive switches
+(-fast -arch ev6), and helpful input ... For the 5-byte swap problem,
+Denali does one cycle better than the C compiler."
+
+Reproduced claims (shape): the conventional compiler, even fed the paper's
+helpful shift-and-mask source, never beats Denali; on byteswap5 Denali is
+strictly faster.  (Our rewriting-based baseline is weaker than Compaq's
+compiler, so Denali's margins are larger here; who-wins is preserved.)
+Both code sequences are measured by the same EV6 timing model and executed
+on the same functional simulator.
+"""
+
+from repro import Denali, GMA, const, ev6, inp, mk
+from repro.baselines import compile_conventional
+from repro.sim import execute_schedule, simulate_timing
+from repro.util import format_table
+
+from benchmarks.conftest import byteswap_goal, default_config
+
+
+def helpful_source(n: int):
+    """The shift-and-or idiom the paper fed the C compiler."""
+    a = inp("a")
+    parts = []
+    for i in range(n):
+        byte = mk("and64", mk("srl", a, const(8 * i)), const(0xFF))
+        parts.append(mk("sll", byte, const(8 * (n - 1 - i))))
+    out = parts[0]
+    for p in parts[1:]:
+        out = mk("bis", out, p)
+    return out
+
+
+def _denali(n: int):
+    den = Denali(ev6(), config=default_config(max_cycles=6 + n // 4, min_cycles=3))
+    return den.compile_term(byteswap_goal(n))
+
+
+def _conventional(n: int):
+    sched = compile_conventional(GMA(("\\res",), (helpful_source(n),)), ev6())
+    assert simulate_timing(sched, ev6()).ok
+    return sched
+
+
+def test_byteswap_vs_compiler(report, benchmark):
+    rows = []
+    paper_rows = {4: "tie at 5 cycles", 5: "Denali wins by 1 cycle"}
+    outputs_agree = True
+    margins = {}
+    for n in (4, 5):
+        denali = _denali(n)
+        conventional = _conventional(n)
+        assert denali.verified
+        assert denali.cycles <= conventional.cycles
+        margins[n] = conventional.cycles - denali.cycles
+
+        # Both codes compute the same function (spot-check on the simulator).
+        for a in (0x0102030405060708, 0xDEADBEEFCAFEF00D, 0, (1 << 64) - 1):
+            s1 = execute_schedule(denali.schedule, {"a": a})
+            s2 = execute_schedule(conventional, {"a": a})
+            v1 = s1.read(denali.schedule.goal_operands[0].register)
+            v2 = s2.read(conventional.goal_operands[0].register)
+            outputs_agree = outputs_agree and (v1 == v2)
+
+        rows.append(
+            [
+                "byteswap%d" % n,
+                paper_rows[n],
+                "Denali %d cyc vs conventional %d cyc"
+                % (denali.cycles, conventional.cycles),
+            ]
+        )
+    assert outputs_agree
+    assert margins[5] >= 1  # Denali strictly wins on byteswap5
+
+    benchmark(lambda: _conventional(5).cycles)
+
+    report(
+        "E3 Denali vs. conventional compiler (byteswap4/5, helpful source)",
+        format_table(["problem", "paper", "measured"], rows),
+    )

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Automatic software pipelining — the paper's future work, implemented.
+
+Section 8: "Three techniques are required to generate efficient code for
+this problem: loop unrolling, software pipelining ..., and word
+parallelism.  ... We have a design for software pipelining, but haven't
+implemented it yet.  In the meantime, ... we hand-specified the required
+pipelining by introducing temporaries to carry intermediate values across
+loop iterations."
+
+``repro.lang.software_pipeline`` automates exactly that temporary
+introduction: every load feeding the current iteration is hoisted into a
+loop-carried temporary, initialised in a prologue and refilled inside the
+body with the *next* iteration's load.  The ldq latency (3 cycles on the
+EV6) leaves the critical path, and the SAT search certifies the gain.
+
+Run:  python examples/software_pipelining.py
+"""
+
+from repro import (
+    Denali,
+    DenaliConfig,
+    GMA,
+    SearchStrategy,
+    Sort,
+    const,
+    ev6,
+    inp,
+    mk,
+    software_pipeline,
+)
+from repro.matching import SaturationConfig
+
+
+def sum_loop() -> GMA:
+    """sum := sum + *ptr; ptr := ptr + 8   while ptr < end."""
+    m = inp("M", Sort.MEM)
+    return GMA(
+        ("sum", "ptr"),
+        (
+            mk("add64", inp("sum"), mk("select", m, inp("ptr"))),
+            mk("add64", inp("ptr"), const(8)),
+        ),
+        guard=mk("cmpult", inp("ptr"), inp("end")),
+    )
+
+
+def main() -> None:
+    cfg = DenaliConfig(
+        min_cycles=2,
+        max_cycles=10,
+        strategy=SearchStrategy.LINEAR,
+        saturation=SaturationConfig(max_rounds=8, max_enodes=1500),
+    )
+    den = Denali(ev6(), config=cfg)
+
+    original = sum_loop()
+    print("original loop body:  %s" % original.pretty())
+    before = den.compile_gma(original)
+    print("  -> %s, verified=%s" % (before.summary(), before.verified))
+    print(before.assembly)
+    print()
+
+    pipelined = software_pipeline(original)
+    print("pipelined loop body: %s" % pipelined.gma.pretty())
+    print(
+        "prologue: %s"
+        % "; ".join("%s := %s" % (n, t.pretty()) for n, t in pipelined.prologue)
+    )
+    after = den.compile_gma(pipelined.gma)
+    print("  -> %s, verified=%s" % (after.summary(), after.verified))
+    print(after.assembly)
+    print()
+    print(
+        "speedup: %d -> %d cycles per iteration (both proved optimal)"
+        % (before.cycles, after.cycles)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Axioms: declarative facts about operators.
+
+The paper's prototype ships a file of *mathematical* axioms (facts useful on
+any target) and a file of *architectural* axioms (defining Alpha operations
+in terms of mathematical functions); programs may add their own axioms as "a
+powerful substitute for conventional macros" (section 4).
+
+This package provides:
+
+* the axiom datatypes (quantified equalities, distinctions and clauses,
+  with explicit matching patterns),
+* an s-expression reader and a parser for the paper's LISP-like axiom
+  syntax (``(\\axiom (forall (a b) (pats ...) (eq ... ...)))``),
+* the built-in mathematical and Alpha-EV6 axiom sets.
+"""
+
+from repro.axioms.sexpr import SExprError, parse_sexprs
+from repro.axioms.axiom import (
+    Axiom,
+    AxiomClause,
+    AxiomDistinction,
+    AxiomEquality,
+    AxiomSet,
+    Pattern,
+    PatternVar,
+)
+from repro.axioms.parser import AxiomParseError, parse_axiom, parse_axiom_file
+from repro.axioms.builtin import (
+    alpha_axioms,
+    checksum_axioms,
+    constant_synthesis_axioms,
+    math_axioms,
+)
+
+__all__ = [
+    "SExprError",
+    "parse_sexprs",
+    "Axiom",
+    "AxiomClause",
+    "AxiomDistinction",
+    "AxiomEquality",
+    "AxiomSet",
+    "Pattern",
+    "PatternVar",
+    "AxiomParseError",
+    "parse_axiom",
+    "parse_axiom_file",
+    "alpha_axioms",
+    "checksum_axioms",
+    "constant_synthesis_axioms",
+    "math_axioms",
+]

@@ -1,0 +1,204 @@
+"""Parser for the LISP-like axiom syntax of the paper (Figure 6).
+
+Accepted forms::
+
+    (\\axiom (forall (a b) (pats (carry a b))
+        (eq (carry a b) (\\cmpult (\\add64 a b) a))))
+    (\\axiom (eq (f x) (g x)))                  ; ground axiom
+    (\\axiom (forall (a) (neq (f a) (g a))))    ; distinction
+    (\\axiom (forall (a i j x) (pats (...))
+        (or (eq i j) (eq ... ...))))            ; clause
+
+Operator symbols may carry the paper's leading backslash (``\\add64``)
+for built-in operators; it is stripped during resolution.  Symbols in the
+``forall`` binder list are pattern variables; any other bare symbol is an
+error (axioms quantify over everything they mention).
+
+When no ``(pats ...)`` is given, the left-hand side of the first literal is
+used as the trigger, falling back to the right-hand side if the left does
+not bind every quantified variable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.axioms.axiom import (
+    Axiom,
+    AxiomClause,
+    AxiomDistinction,
+    AxiomEquality,
+    AxiomSet,
+    Pattern,
+)
+from repro.axioms.sexpr import SExpr, parse_sexprs, render_sexpr
+from repro.terms.ops import OperatorRegistry, default_registry
+
+
+class AxiomParseError(Exception):
+    """Raised on malformed axiom syntax."""
+
+
+def _strip(symbol: str) -> str:
+    return symbol[1:] if symbol.startswith("\\") else symbol
+
+
+def parse_pattern(
+    sexpr: SExpr, variables: Set[str], registry: OperatorRegistry
+) -> Pattern:
+    """Parse one pattern; ``variables`` are the quantified names."""
+    if isinstance(sexpr, int):
+        return Pattern.constant(sexpr)
+    if isinstance(sexpr, str):
+        if sexpr in variables:
+            return Pattern.variable(sexpr)
+        raise AxiomParseError(
+            "unquantified symbol %r in pattern (operators need argument lists)"
+            % sexpr
+        )
+    if not sexpr:
+        raise AxiomParseError("empty pattern")
+    head = sexpr[0]
+    if not isinstance(head, str):
+        raise AxiomParseError("pattern head must be a symbol: %r" % (head,))
+    op = _strip(head)
+    if op not in registry:
+        raise AxiomParseError("unknown operator %r in pattern" % op)
+    sig = registry.get(op)
+    args = sexpr[1:]
+    if len(args) != sig.arity:
+        raise AxiomParseError(
+            "operator %r expects %d arguments, got %d in %s"
+            % (op, sig.arity, len(args), render_sexpr(sexpr))
+        )
+    return Pattern.apply(op, *(parse_pattern(a, variables, registry) for a in args))
+
+
+def _parse_literal(
+    sexpr: SExpr, variables: Set[str], registry: OperatorRegistry
+) -> Tuple[str, Pattern, Pattern]:
+    if not isinstance(sexpr, list) or len(sexpr) != 3:
+        raise AxiomParseError("literal must be (eq l r) or (neq l r): %s" % (sexpr,))
+    kind = sexpr[0]
+    if kind not in ("eq", "neq"):
+        raise AxiomParseError("literal kind must be eq or neq, got %r" % kind)
+    lhs = parse_pattern(sexpr[1], variables, registry)
+    rhs = parse_pattern(sexpr[2], variables, registry)
+    return kind, lhs, rhs
+
+
+def _default_triggers(
+    literals: Sequence[Tuple[str, Pattern, Pattern]], variables: Set[str]
+) -> List[Pattern]:
+    needed = set(variables)
+    for _, lhs, rhs in literals:
+        for cand in (lhs, rhs):
+            if not cand.is_var and not cand.is_const and needed <= cand.variables():
+                return [cand]
+    raise AxiomParseError(
+        "no (pats ...) given and no single side binds all variables"
+    )
+
+
+def parse_axiom(
+    sexpr: SExpr,
+    registry: Optional[OperatorRegistry] = None,
+    name: str = "",
+) -> Axiom:
+    """Parse the body of one ``\\axiom`` form into an :class:`Axiom`."""
+    registry = registry if registry is not None else default_registry()
+    variables: List[str] = []
+    triggers_sexpr: Optional[List[SExpr]] = None
+    body = sexpr
+
+    if isinstance(body, list) and body and body[0] == "forall":
+        if len(body) < 3:
+            raise AxiomParseError("forall needs a binder list and a body")
+        binder = body[1]
+        if not isinstance(binder, list) or not all(
+            isinstance(v, str) for v in binder
+        ):
+            raise AxiomParseError("forall binder must be a list of symbols")
+        variables = list(binder)
+        rest = body[2:]
+        if (
+            isinstance(rest[0], list)
+            and rest[0]
+            and rest[0][0] == "pats"
+        ):
+            triggers_sexpr = rest[0][1:]
+            rest = rest[1:]
+        if len(rest) != 1:
+            raise AxiomParseError("forall body must be a single literal or clause")
+        body = rest[0]
+
+    varset = set(variables)
+    if not isinstance(body, list) or not body:
+        raise AxiomParseError("axiom body must be a literal or clause")
+
+    if body[0] == "or":
+        literals = [_parse_literal(l, varset, registry) for l in body[1:]]
+        if not literals:
+            raise AxiomParseError("empty clause")
+    else:
+        literals = [_parse_literal(body, varset, registry)]
+
+    if triggers_sexpr is not None:
+        triggers = [parse_pattern(t, varset, registry) for t in triggers_sexpr]
+    else:
+        triggers = _default_triggers(literals, varset)
+
+    if not name:
+        name = "axiom:%s" % render_sexpr(sexpr)
+
+    if len(literals) == 1:
+        kind, lhs, rhs = literals[0]
+        if kind == "eq":
+            return AxiomEquality(
+                name=name,
+                variables=tuple(variables),
+                triggers=tuple(triggers),
+                lhs=lhs,
+                rhs=rhs,
+            )
+        return AxiomDistinction(
+            name=name,
+            variables=tuple(variables),
+            triggers=tuple(triggers),
+            lhs=lhs,
+            rhs=rhs,
+        )
+    return AxiomClause(
+        name=name,
+        variables=tuple(variables),
+        triggers=tuple(triggers),
+        literals=tuple(literals),
+    )
+
+
+def parse_axiom_file(
+    text: str,
+    registry: Optional[OperatorRegistry] = None,
+    name: str = "",
+) -> AxiomSet:
+    """Parse a whole axiom file: a sequence of ``(\\axiom ...)`` forms.
+
+    Forms other than ``\\axiom`` (e.g. ``\\opdecl``) are rejected here; the
+    program parser in :mod:`repro.lang` handles mixed files.
+    """
+    registry = registry if registry is not None else default_registry()
+    axioms = AxiomSet(name=name)
+    for i, form in enumerate(parse_sexprs(text)):
+        if not isinstance(form, list) or not form:
+            raise AxiomParseError("top-level form must be a list: %r" % (form,))
+        head = form[0]
+        if head not in ("\\axiom", "axiom"):
+            raise AxiomParseError(
+                "expected (\\axiom ...) at top level, got %s" % render_sexpr(form)
+            )
+        if len(form) != 2:
+            raise AxiomParseError("\\axiom takes exactly one body form")
+        axioms.add(
+            parse_axiom(form[1], registry, name="%s[%d]" % (name or "axioms", i))
+        )
+    return axioms

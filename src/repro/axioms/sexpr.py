@@ -1,0 +1,103 @@
+"""A small s-expression reader for the Denali input syntax.
+
+The paper's prototype uses a LISP-like parenthesised syntax (Figure 6) for
+both axioms and programs.  Atoms are symbols (possibly starting with a
+backslash, e.g. ``\\add64``), integer literals (decimal or ``0x`` hex,
+optionally negative), or punctuation symbols like ``:=`` and ``->``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+SExpr = Union[str, int, list]
+
+
+class SExprError(Exception):
+    """Raised on malformed s-expression input."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(
+            "%s (line %d)" % (message, line) if line else message
+        )
+        self.line = line
+
+
+def _tokenize(text: str) -> List[tuple]:
+    """Split into (token, line) pairs; ``;`` starts a comment to end of line."""
+    tokens = []
+    line = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+        elif ch.isspace():
+            i += 1
+        elif ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "()":
+            tokens.append((ch, line))
+            i += 1
+        else:
+            start = i
+            while i < n and not text[i].isspace() and text[i] not in "();":
+                i += 1
+            tokens.append((text[start:i], line))
+    return tokens
+
+
+def _atom(token: str, line: int) -> SExpr:
+    if token.lstrip("-").isdigit():
+        return int(token)
+    lower = token.lower()
+    if lower.startswith("0x") or lower.startswith("-0x"):
+        try:
+            return int(token, 16)
+        except ValueError:
+            raise SExprError("malformed hex literal %r" % token, line)
+    return token
+
+
+def parse_sexprs(text: str) -> List[SExpr]:
+    """Parse ``text`` into a list of top-level s-expressions.
+
+    Lists become Python lists, integer literals Python ints, and symbols
+    Python strings (with any leading backslash preserved).
+    """
+    tokens = _tokenize(text)
+    out: List[SExpr] = []
+    stack: List[List[SExpr]] = []
+    open_lines: List[int] = []
+    for token, line in tokens:
+        if token == "(":
+            stack.append([])
+            open_lines.append(line)
+        elif token == ")":
+            if not stack:
+                raise SExprError("unbalanced ')'", line)
+            done = stack.pop()
+            open_lines.pop()
+            if stack:
+                stack[-1].append(done)
+            else:
+                out.append(done)
+        else:
+            atom = _atom(token, line)
+            if stack:
+                stack[-1].append(atom)
+            else:
+                out.append(atom)
+    if stack:
+        raise SExprError("unbalanced '('", open_lines[-1])
+    return out
+
+
+def render_sexpr(expr: SExpr) -> str:
+    """Render an s-expression back to text (canonical whitespace)."""
+    if isinstance(expr, list):
+        return "(%s)" % " ".join(render_sexpr(e) for e in expr)
+    return str(expr)

@@ -1,0 +1,26 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.bruteforce` — a Massalin-style superoptimizer
+  (exhaustive enumeration in order of increasing length, filtered by test
+  vectors), standing in for the GNU superoptimizer of section 8;
+* :mod:`repro.baselines.compiler` — a conventional code generator
+  (rewriting-based instruction selection + greedy list scheduling),
+  standing in for the production C compiler.
+"""
+
+from repro.baselines.bruteforce import (
+    BruteForceResult,
+    BruteInstruction,
+    brute_force_search,
+    default_repertoire,
+)
+from repro.baselines.compiler import CompileError, compile_conventional
+
+__all__ = [
+    "BruteForceResult",
+    "BruteInstruction",
+    "brute_force_search",
+    "default_repertoire",
+    "CompileError",
+    "compile_conventional",
+]

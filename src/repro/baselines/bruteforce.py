@@ -1,0 +1,247 @@
+"""A Massalin-style brute-force superoptimizer (paper sections 1.1, 8).
+
+"His superoptimizer performed an exhaustive enumeration of all possible
+code sequences in order of increasing length.  For each sequence, the
+superoptimizer executed the sequence against a suite of tests, and a
+sequence that passed all tests was printed as a candidate."
+
+This implementation reproduces that search, including its characteristic
+limitations the paper lists:
+
+* the repertoire is restricted to safe register-to-register computations
+  (no memory access);
+* candidates that pass the test vectors are only *probably* correct; a
+  final verification pass against many more vectors (and, for the
+  benchmarks, the reference term) weeds out impostors;
+* it finds the *shortest* program, which on a multiple-issue machine need
+  not be the fastest;
+* cost grows as ``(ops × operand choices)^length`` — benchmark E4 measures
+  the explosion.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.terms.evaluator import Evaluator
+from repro.terms.ops import OperatorRegistry, default_registry
+from repro.terms.term import Term, subterms
+from repro.terms.values import M64
+
+# (kind, payload): kind "in" = input index, "t" = temp index, "imm" = literal
+OperandRef = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class BruteInstruction:
+    """One instruction of an enumerated sequence."""
+
+    op: str
+    operands: Tuple[OperandRef, ...]
+
+    def render(self, input_names: Sequence[str]) -> str:
+        def name(ref: OperandRef) -> str:
+            kind, payload = ref
+            if kind == "in":
+                return input_names[payload]
+            if kind == "t":
+                return "t%d" % payload
+            return str(payload)
+
+        return "%s %s" % (self.op, ", ".join(name(o) for o in self.operands))
+
+
+@dataclass
+class BruteForceResult:
+    """Outcome of one search."""
+
+    found: bool
+    program: List[BruteInstruction] = field(default_factory=list)
+    length: int = 0
+    sequences_tested: int = 0
+    candidates: int = 0  # passed the test vectors
+    time_seconds: float = 0.0
+
+    def render(self, input_names: Sequence[str]) -> str:
+        return "\n".join(i.render(input_names) for i in self.program)
+
+
+def default_repertoire() -> List[str]:
+    """The safe register-to-register repertoire (Massalin's restriction)."""
+    return [
+        "add64",
+        "sub64",
+        "and64",
+        "bis",
+        "xor64",
+        "bic",
+        "ornot",
+        "not64",
+        "neg64",
+        "sll",
+        "srl",
+        "sra",
+        "cmpeq",
+        "cmpult",
+        "extbl",
+        "insbl",
+        "mskbl",
+        "zapnot",
+        "s4addq",
+        "s8addq",
+    ]
+
+
+def _execute(
+    program: Sequence[BruteInstruction],
+    inputs: Sequence[int],
+    eval_fns: Dict[str, Callable],
+) -> Optional[int]:
+    temps: List[int] = []
+    for instr in program:
+        args = []
+        for kind, payload in instr.operands:
+            if kind == "in":
+                args.append(inputs[payload])
+            elif kind == "t":
+                args.append(temps[payload])
+            else:
+                args.append(payload)
+        try:
+            temps.append(eval_fns[instr.op](*args) & M64)
+        except Exception:  # pragma: no cover - repertoire ops are total
+            return None
+    return temps[-1] if temps else None
+
+
+def _make_tests(
+    goal: Callable[[Sequence[int]], int],
+    num_inputs: int,
+    count: int,
+    seed: int,
+) -> List[Tuple[Tuple[int, ...], int]]:
+    rng = random.Random(seed)
+    special = [0, 1, 2, 0xFF, 0xFFFF, 1 << 31, 1 << 63, M64, 0x0102030405060708]
+    tests = []
+    pool = list(itertools.product(special[: max(2, 6 - num_inputs)], repeat=num_inputs))
+    rng.shuffle(pool)
+    for values in pool[: count // 2]:
+        tests.append((tuple(values), goal(values)))
+    while len(tests) < count:
+        values = tuple(rng.randrange(1 << 64) for _ in range(num_inputs))
+        tests.append((values, goal(values)))
+    return tests
+
+
+def goal_from_term(
+    term: Term,
+    input_names: Sequence[str],
+    registry: Optional[OperatorRegistry] = None,
+) -> Callable[[Sequence[int]], int]:
+    """Wrap a term as the test-vector oracle for the search."""
+    registry = registry if registry is not None else default_registry()
+
+    def goal(values: Sequence[int]) -> int:
+        env = dict(zip(input_names, values))
+        return Evaluator(env, registry).eval(term) & M64  # type: ignore
+
+    return goal
+
+
+def brute_force_search(
+    goal: Callable[[Sequence[int]], int],
+    num_inputs: int,
+    max_length: int = 3,
+    repertoire: Optional[Sequence[str]] = None,
+    immediates: Sequence[int] = (0, 1, 8),
+    tests: int = 24,
+    verify_tests: int = 200,
+    seed: int = 68000,
+    registry: Optional[OperatorRegistry] = None,
+    max_sequences: Optional[int] = None,
+) -> BruteForceResult:
+    """Enumerate programs of increasing length until one computes ``goal``.
+
+    The search enumerates, for each length, every assignment of operators
+    and operands (inputs, earlier temporaries, immediate literals).  A
+    quick first test vector rejects most sequences before the full suite
+    runs.  ``max_sequences`` bounds the enumeration (for benchmarks that
+    chart the explosion without waiting days, as the paper did).
+    """
+    registry = registry if registry is not None else default_registry()
+    ops = list(repertoire) if repertoire is not None else default_repertoire()
+    eval_fns = {op: registry.get(op).eval_fn for op in ops}
+    if any(fn is None for fn in eval_fns.values()):
+        raise ValueError("repertoire contains uninterpreted operators")
+
+    suite = _make_tests(goal, num_inputs, tests, seed)
+    first_in, first_out = suite[0]
+    verify_suite = _make_tests(goal, num_inputs, verify_tests, seed + 1)
+
+    start = time.perf_counter()
+    result = BruteForceResult(found=False)
+
+    def operand_choices(position: int, depth: int) -> List[OperandRef]:
+        choices: List[OperandRef] = [("in", i) for i in range(num_inputs)]
+        choices += [("t", j) for j in range(depth)]
+        if position == 1:  # Alpha-style literal in the second operand only
+            choices += [("imm", v) for v in immediates]
+        return choices
+
+    for length in range(1, max_length + 1):
+        program: List[Optional[BruteInstruction]] = [None] * length
+
+        def enumerate_at(depth: int) -> Optional[List[BruteInstruction]]:
+            if depth == length:
+                if (
+                    max_sequences is not None
+                    and result.sequences_tested >= max_sequences
+                ):
+                    return None
+                result.sequences_tested += 1
+                prog = [i for i in program]  # type: ignore[list-item]
+                if _execute(prog, first_in, eval_fns) != first_out:
+                    return None
+                if all(
+                    _execute(prog, vin, eval_fns) == vout
+                    for vin, vout in suite[1:]
+                ):
+                    result.candidates += 1
+                    if all(
+                        _execute(prog, vin, eval_fns) == vout
+                        for vin, vout in verify_suite
+                    ):
+                        return list(prog)
+                return None
+            if (
+                max_sequences is not None
+                and result.sequences_tested >= max_sequences
+            ):
+                return None
+            for op in ops:
+                arity = registry.get(op).arity
+                for operands in itertools.product(
+                    *(operand_choices(pos, depth) for pos in range(arity))
+                ):
+                    program[depth] = BruteInstruction(op, operands)
+                    found = enumerate_at(depth + 1)
+                    if found is not None:
+                        return found
+            program[depth] = None
+            return None
+
+        found = enumerate_at(0)
+        if found is not None:
+            result.found = True
+            result.program = found
+            result.length = length
+            break
+        if max_sequences is not None and result.sequences_tested >= max_sequences:
+            break
+
+    result.time_seconds = time.perf_counter() - start
+    return result

@@ -1,0 +1,371 @@
+"""A conventional code generator — the "production C compiler" stand-in.
+
+This is deliberately the kind of code generator section 5 contrasts Denali
+with: a *rewriting engine* that lowers each expression top-down with a
+fixed set of greedy local rules (strength reduction, constant folding,
+identity peepholes, macro expansion of program-defined operators), performs
+common-subexpression elimination by memoisation, and then list-schedules
+the resulting DAG greedily on the architectural model.  It never keeps
+alternatives: once a subterm is rewritten, better global combinations
+(``s4addq``, byte-insert tricks) are lost — exactly the weakness the paper
+describes.
+
+Its output is a :class:`repro.core.extraction.Schedule`, so the same
+functional and timing simulators that judge Denali judge the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.extraction import Operand, Schedule, ScheduledInstruction
+from repro.egraph.egraph import ENode
+from repro.isa.allocator import allocate_destinations
+from repro.isa.registers import RegisterFile, TEMP_REGISTERS, ZERO_REGISTER
+from repro.isa.spec import ArchSpec
+from repro.lang.gma import GMA
+from repro.terms.evaluator import EvalError, Evaluator
+from repro.terms.ops import OperatorRegistry, Sort, default_registry
+from repro.terms.term import Term, const, mk
+from repro.terms.values import M64
+
+
+class CompileError(Exception):
+    """Raised when the conventional compiler cannot lower a term."""
+
+
+# A value reference during lowering.
+@dataclass(frozen=True)
+class _Ref:
+    kind: str  # "v" (virtual instr), "imm", "input", "mem"
+    index: int = 0
+    value: int = 0
+    name: str = ""
+
+
+@dataclass
+class _VInstr:
+    op: str
+    operands: Tuple[_Ref, ...]
+    vid: int
+    is_store: bool = False
+
+
+class _Lowerer:
+    """Top-down, memoised, greedy rewriting (the section 5 foil)."""
+
+    def __init__(
+        self,
+        spec: ArchSpec,
+        registry: OperatorRegistry,
+        definitions: Optional[Dict] = None,
+    ) -> None:
+        self.spec = spec
+        self.registry = registry
+        self.definitions = definitions or {}
+        self.instrs: List[_VInstr] = []
+        self.memo: Dict[Term, _Ref] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def emit(self, op: str, *operands: _Ref) -> _Ref:
+        vid = len(self.instrs)
+        self.instrs.append(
+            _VInstr(op, tuple(operands), vid, is_store=(op == "store"))
+        )
+        return _Ref("v", index=vid)
+
+    def _const_ref(self, value: int) -> _Ref:
+        value &= M64
+        if self.spec.fits_immediate(value):
+            return _Ref("imm", value=value)
+        return self.emit("ldiq", _Ref("imm", value=value))
+
+    def _try_fold(self, term: Term) -> Optional[int]:
+        """Constant-fold closed integer subterms."""
+        if term.sort != Sort.INT:
+            return None
+        try:
+            value = Evaluator({}, self.registry, self.definitions).eval(term)
+        except EvalError:
+            return None
+        return value & M64 if isinstance(value, int) else None
+
+    # -- lowering -----------------------------------------------------------
+
+    def lower(self, term: Term) -> _Ref:
+        cached = self.memo.get(term)
+        if cached is not None:
+            return cached
+        ref = self._lower_uncached(term)
+        self.memo[term] = ref
+        return ref
+
+    def _lower_uncached(self, term: Term) -> _Ref:
+        if term.is_const:
+            return self._const_ref(term.value)
+        if term.is_input:
+            if term.sort == Sort.MEM:
+                return _Ref("mem", index=-1, name=term.name)
+            return _Ref("input", name=term.name)
+
+        folded = self._try_fold(term)
+        if folded is not None:
+            return self._const_ref(folded)
+
+        op, args = term.op, term.args
+
+        # Macro expansion of program-defined operators.
+        if not self.spec.is_machine_op(op):
+            expanded = self._expand(term)
+            if expanded is None:
+                raise CompileError("cannot lower non-machine operator %r" % op)
+            return self.lower(expanded)
+
+        # Strength reduction: multiply by a power of two becomes a shift.
+        if op == "mul64":
+            for a, b in ((args[0], args[1]), (args[1], args[0])):
+                if b.is_const:
+                    value = b.value
+                    if value == 0:
+                        return self._const_ref(0)
+                    if value == 1:
+                        return self.lower(a)
+                    if value & (value - 1) == 0:
+                        return self.lower(
+                            mk(
+                                "sll",
+                                a,
+                                const(value.bit_length() - 1),
+                                registry=self.registry,
+                            )
+                        )
+
+        # Identity peepholes.
+        if op == "add64" and args[1].is_const and args[1].value == 0:
+            return self.lower(args[0])
+        if op == "bis" and args[1].is_const and args[1].value == 0:
+            return self.lower(args[0])
+        if op == "and64" and args[1].is_const and args[1].value == M64:
+            return self.lower(args[0])
+        if op == "bis" and args[0].is_const and args[0].value == 0:
+            return self.lower(args[1])
+
+        return self.emit(op, *(self.lower(a) for a in args))
+
+    def _expand(self, term: Term) -> Optional[Term]:
+        """Rewrite one non-machine operator application to machine terms."""
+        op, args = term.op, term.args
+        if op == "selectb":
+            return mk("extbl", *args, registry=self.registry)
+        if op == "storeb":
+            w, i, x = args
+            masked = mk("mskbl", w, i, registry=self.registry)
+            inserted = mk("insbl", x, i, registry=self.registry)
+            if w.is_const and w.value == 0:
+                return inserted
+            return mk("bis", masked, inserted, registry=self.registry)
+        if op == "selectw":
+            w, j = args
+            return mk(
+                "extwl",
+                w,
+                mk("mul64", const(2), j, registry=self.registry),
+                registry=self.registry,
+            )
+        if op == "pow":
+            return None  # only foldable pow is supported
+        if op in self.definitions:
+            params, rhs = self.definitions[op]
+            binding = dict(zip(params, args))
+            return rhs.instantiate(binding, self.registry)
+        return None
+
+
+def _list_schedule(
+    instrs: List[_VInstr], spec: ArchSpec
+) -> Dict[int, Tuple[int, str]]:
+    """Greedy ASAP list scheduling; returns vid -> (cycle, unit)."""
+    n = len(instrs)
+    deps: List[List[int]] = [[] for _ in range(n)]
+    anti: List[List[int]] = [[] for _ in range(n)]  # store waits for loads
+    loads_by_mem: Dict[int, List[int]] = {}
+    for v in instrs:
+        for ref in v.operands:
+            if ref.kind == "v":
+                deps[v.vid].append(ref.index)
+            if ref.kind in ("v", "mem") and v.op == "select":
+                pass
+        if v.op == "select":
+            mem = v.operands[0]
+            key = mem.index if mem.kind in ("v", "mem") else -1
+            loads_by_mem.setdefault(key, []).append(v.vid)
+    for v in instrs:
+        if v.op == "store":
+            mem = v.operands[0]
+            key = mem.index if mem.kind in ("v", "mem") else -1
+            for load in loads_by_mem.get(key, ()):
+                anti[v.vid].append(load)
+
+    # Priority: height of the dependency DAG.
+    users: List[List[int]] = [[] for _ in range(n)]
+    for v in instrs:
+        for d in deps[v.vid]:
+            users[d].append(v.vid)
+    height = [1] * n
+    for vid in reversed(range(n)):
+        for u in users[vid]:
+            height[vid] = max(height[vid], height[u] + spec.latency(instrs[vid].op))
+
+    placed: Dict[int, Tuple[int, str]] = {}
+    remaining = set(range(n))
+    cycle = 0
+    guard_cycles = 10 * (n + 2) * max(
+        spec.latency(op) for op in spec.machine_ops()
+    ) + 64
+    while remaining and cycle < guard_cycles:
+        used_units: List[str] = [
+            u for vid, (c, u) in placed.items() if c == cycle
+        ]
+        for unit in spec.units:
+            if unit in used_units:
+                continue
+            cluster = spec.clusters[unit]
+            best = None
+            for vid in sorted(remaining, key=lambda v: -height[v]):
+                v = instrs[vid]
+                if unit not in spec.info(v.op).units:
+                    continue
+                ok = True
+                for d in deps[vid]:
+                    if d not in placed:
+                        ok = False
+                        break
+                    dc, du = placed[d]
+                    ready = dc + spec.latency(instrs[d].op) - 1
+                    ready += spec.result_delay(du, cluster)
+                    if ready > cycle - 1:
+                        ok = False
+                        break
+                if ok:
+                    for l in anti[vid]:
+                        if l not in placed:
+                            ok = False
+                            break
+                        lc, _lu = placed[l]
+                        if lc + spec.latency(instrs[l].op) - 1 >= cycle:
+                            ok = False
+                            break
+                if ok:
+                    best = vid
+                    break
+            if best is not None:
+                placed[best] = (cycle, unit)
+                remaining.discard(best)
+                used_units.append(unit)
+        cycle += 1
+    if remaining:
+        raise CompileError("list scheduler failed to place all instructions")
+    return placed
+
+
+def compile_conventional(
+    source: Union[GMA, Term],
+    spec: ArchSpec,
+    registry: Optional[OperatorRegistry] = None,
+    definitions: Optional[Dict] = None,
+    input_registers: Optional[Dict[str, str]] = None,
+) -> Schedule:
+    """Compile a GMA (or a single term) the conventional way.
+
+    Returns a :class:`Schedule` directly comparable — on the same timing
+    and functional simulators — with Denali's output.
+    """
+    registry = registry if registry is not None else default_registry()
+    gma = source if isinstance(source, GMA) else GMA(("\\res",), (source,))
+
+    lowerer = _Lowerer(spec, registry, definitions)
+    goal_refs = [lowerer.lower(t) for t in gma.goal_terms()]
+    placed = _list_schedule(lowerer.instrs, spec)
+
+    regs = RegisterFile()
+    if input_registers:
+        for name, reg in input_registers.items():
+            regs.bind_input(name, reg)
+
+    def ref_operand(ref: _Ref, dest_regs: Dict[int, Optional[str]]) -> Operand:
+        if ref.kind == "imm":
+            if ref.value == 0:
+                return Operand(-1, register=ZERO_REGISTER)
+            return Operand(-1, literal=ref.value)
+        if ref.kind == "input":
+            try:
+                reg = regs.input_register(ref.name)
+            except KeyError:
+                reg = regs.bind_input(ref.name)
+            return Operand(-1, register=reg)
+        if ref.kind == "mem":
+            return Operand(ref.index, memory=True)
+        dest = dest_regs.get(ref.index)
+        if dest is None:
+            return Operand(ref.index, memory=True)  # store result (memory)
+        return Operand(ref.index, register=dest)
+
+    order = sorted(placed.items(), key=lambda kv: (kv[1][0], kv[1][1]))
+    # Destination allocation with reuse: positions are issue order.
+    pos_of = {vid: i for i, (vid, _) in enumerate(order)}
+    uses: Dict[int, List[int]] = {i: [] for i in range(len(order))}
+    for vid, _ in order:
+        for r in lowerer.instrs[vid].operands:
+            if r.kind == "v":
+                uses[pos_of[r.index]].append(pos_of[vid])
+    needs_dest = [
+        spec.info(lowerer.instrs[vid].op).kind != "store" for vid, _ in order
+    ]
+    protected = {
+        pos_of[ref.index] for ref in goal_refs if ref.kind == "v"
+    }
+    assigned = allocate_destinations(
+        needs_dest, uses, protected, TEMP_REGISTERS
+    )
+    dest_regs: Dict[int, Optional[str]] = {
+        vid: assigned[i] for i, (vid, _) in enumerate(order)
+    }
+    from repro.core.extraction import _canonicalise_operands
+
+    instructions: List[ScheduledInstruction] = []
+    for vid, (cycle, unit) in order:
+        v = lowerer.instrs[vid]
+        info = spec.info(v.op)
+        dest = dest_regs[vid]
+        operands = [ref_operand(r, dest_regs) for r in v.operands]
+        _canonicalise_operands(v.op, operands, spec)
+        instructions.append(
+            ScheduledInstruction(
+                cycle=cycle,
+                unit=unit,
+                node=ENode(v.op, (), None, None),
+                class_id=vid,
+                mnemonic=info.mnemonic,
+                operands=operands,
+                dest=dest,
+            )
+        )
+
+    makespan = 0
+    for instr in instructions:
+        makespan = max(
+            makespan, instr.cycle + spec.latency(instr.node.op)
+        )
+
+    goal_operands: List[Operand] = []
+    for ref in goal_refs:
+        goal_operands.append(ref_operand(ref, dest_regs))
+
+    return Schedule(
+        instructions=instructions,
+        cycles=makespan,
+        register_map=regs.register_map(),
+        goal_operands=goal_operands,
+    )

@@ -1,0 +1,277 @@
+"""Command-line driver: compile Denali source files to assembly.
+
+Usage::
+
+    python -m repro program.dn                  # compile every procedure
+    python -m repro program.dn --proc checksum  # one procedure
+    python -m repro program.dn --arch itanium   # retarget
+    python -m repro program.dn --max-cycles 12 --strategy linear
+    python -m repro program.dn --dimacs out/    # also dump the CNF probes
+
+The input is the paper's Figure 6 syntax (``\\opdecl`` / ``\\axiom`` /
+``\\procdecl``).  Each procedure is translated to its GMAs; each GMA is
+superoptimized and printed with its statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.axioms import (
+    AxiomSet,
+    alpha_axioms,
+    constant_synthesis_axioms,
+    math_axioms,
+)
+from repro.core.pipeline import Denali, DenaliConfig
+from repro.core.search import SearchStrategy
+from repro.isa import ev6, itanium_like, simple_risc
+from repro.lang import parse_program, translate_procedure
+from repro.matching import SaturationConfig
+
+_ARCHS = {
+    "ev6": ev6,
+    "itanium": itanium_like,
+    "simple": simple_risc,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Denali-style superoptimizing code generator",
+    )
+    parser.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="Denali source file (Figure 6 syntax)",
+    )
+    parser.add_argument(
+        "--list-axioms",
+        action="store_true",
+        help="print the built-in axiom corpus and exit",
+    )
+    parser.add_argument(
+        "--proc", help="compile only this procedure", default=None
+    )
+    parser.add_argument(
+        "--arch",
+        choices=sorted(_ARCHS),
+        default="ev6",
+        help="target architecture description (default: ev6)",
+    )
+    parser.add_argument(
+        "--max-cycles", type=int, default=12, help="largest budget to try"
+    )
+    parser.add_argument(
+        "--min-cycles", type=int, default=1, help="smallest budget to try"
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=["binary", "linear"],
+        default="binary",
+        help="cycle-budget search strategy",
+    )
+    parser.add_argument(
+        "--load-latency",
+        type=int,
+        default=3,
+        help="assumed cache-hit load latency (EV6 only)",
+    )
+    parser.add_argument(
+        "--miss-latency",
+        type=int,
+        default=12,
+        help="latency for \\miss-annotated loads",
+    )
+    parser.add_argument(
+        "--max-enodes", type=int, default=4000, help="saturation enode budget"
+    )
+    parser.add_argument(
+        "--max-rounds", type=int, default=12, help="saturation round budget"
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the differential correctness check",
+    )
+    parser.add_argument(
+        "--dimacs",
+        metavar="DIR",
+        default=None,
+        help="dump each probe's CNF in DIMACS format into DIR",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print assembly only"
+    )
+    parser.add_argument(
+        "--whole",
+        action="store_true",
+        help="emit complete procedures (loop labels, branches, late moves) "
+        "instead of per-GMA blocks",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_axioms:
+        from repro.terms.ops import default_registry
+
+        registry = default_registry()
+        for title, axset in (
+            ("mathematical axioms", math_axioms(registry)),
+            ("constant-synthesis companions", constant_synthesis_axioms(registry)),
+            ("Alpha architectural axioms", alpha_axioms(registry)),
+        ):
+            print("; ===== %s (%d) =====" % (title, len(axset)))
+            for axiom in axset:
+                print(axiom.pretty())
+            print()
+        return 0
+
+    if args.source is None:
+        print("error: a source file is required (or --list-axioms)",
+              file=sys.stderr)
+        return 2
+
+    try:
+        with open(args.source) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    try:
+        program = parse_program(source)
+    except Exception as exc:
+        print("parse error: %s" % exc, file=sys.stderr)
+        return 2
+
+    if not program.procedures:
+        print("error: no procedures in %s" % args.source, file=sys.stderr)
+        return 2
+
+    if args.arch == "ev6":
+        spec = ev6(load_latency=args.load_latency)
+    else:
+        spec = _ARCHS[args.arch]()
+
+    axioms = (
+        math_axioms(program.registry)
+        + constant_synthesis_axioms(program.registry)
+        + alpha_axioms(program.registry)
+        + AxiomSet(program.axioms, "program")
+    )
+    config = DenaliConfig(
+        min_cycles=args.min_cycles,
+        max_cycles=args.max_cycles,
+        strategy=SearchStrategy(args.strategy),
+        verify=not args.no_verify,
+        miss_latency=args.miss_latency,
+        saturation=SaturationConfig(
+            max_rounds=args.max_rounds, max_enodes=args.max_enodes
+        ),
+    )
+    den = Denali(spec, axioms=axioms, registry=program.registry, config=config)
+
+    procedures = program.procedures
+    if args.proc is not None:
+        try:
+            procedures = [program.procedure(args.proc)]
+        except KeyError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+
+    status = 0
+    for proc in procedures:
+        if args.whole:
+            try:
+                result = den.compile_procedure(proc)
+            except Exception as exc:
+                print("error compiling %s: %s" % (proc.name, exc),
+                      file=sys.stderr)
+                status = 1
+                continue
+            print(result.assembly)
+            if not args.quiet:
+                print("; all GMAs verified: %s" % result.all_verified())
+            if not result.all_verified():
+                status = 1
+            print()
+            continue
+        try:
+            gmas = translate_procedure(proc, program.registry)
+        except Exception as exc:
+            print("translation error in %s: %s" % (proc.name, exc),
+                  file=sys.stderr)
+            status = 1
+            continue
+        for label, gma in gmas:
+            if not args.quiet:
+                print("; === %s: %s" % (label, gma.pretty()))
+            result = den.compile_gma(gma)
+            if result.schedule is None:
+                print(
+                    "; %s: no schedule within %d cycles (floor proved: %d)"
+                    % (label, args.max_cycles, result.search.proved_floor),
+                    file=sys.stderr,
+                )
+                status = 1
+                continue
+            if args.dimacs:
+                _dump_dimacs(args.dimacs, label, den, gma, result)
+            print(result.schedule.render(label=label.replace(".", "_")))
+            if not args.quiet:
+                print(
+                    "; %s%s"
+                    % (
+                        result.summary(),
+                        ""
+                        if result.verified is None
+                        else ", verified=%s" % result.verified,
+                    )
+                )
+            if result.verified is False:
+                status = 1
+            print()
+    return status
+
+
+def _dump_dimacs(directory: str, label: str, den, gma, result) -> None:
+    """Re-encode each probed budget and write DIMACS files."""
+    import os
+
+    from repro.egraph import EGraph
+    from repro.encode import encode_schedule
+    from repro.matching import saturate
+    from repro.sat import to_dimacs
+
+    os.makedirs(directory, exist_ok=True)
+    eg = EGraph()
+    goal_ids = [eg.add_term(t) for t in gma.goal_terms()]
+    saturate(eg, den.axioms, den.registry, den.config.saturation)
+    goal_ids = [eg.find(g) for g in goal_ids]
+    for probe in result.search.probes:
+        enc = encode_schedule(eg, den.spec, goal_ids, probe.cycles)
+        path = os.path.join(
+            directory, "%s.K%d.cnf" % (label.replace("/", "_"), probe.cycles)
+        )
+        with open(path, "w") as handle:
+            handle.write(
+                to_dimacs(
+                    enc.cnf,
+                    comments=[
+                        "Denali probe %s K=%d (sat=%s)"
+                        % (label, probe.cycles, probe.satisfiable)
+                    ],
+                )
+            )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

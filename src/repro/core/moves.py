@@ -1,0 +1,182 @@
+"""Output binding: placing GMA results in their target registers.
+
+Section 7: "The expressions on the right side of a guarded multiassignment
+may use the same targets that it updates; for example,
+``(reg6, reg7) := (reg6 + reg7, reg6)``.  In this case, the final
+instruction that computes the reg6 + reg7 may not be able to place the
+computed value in its final destination.  In the worst case, we may be
+forced to choose between adding an early move ... or computing a value
+into a temporary register and adding a late move."
+
+The prototype (like the paper's) computes into temporaries; this module
+adds the *late moves*: a parallel-copy problem (all targets update
+simultaneously) sequentialised with the classic algorithm — emit moves
+whose destination is not a pending source first; break cycles with one
+temporary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.extraction import Operand, Schedule, ScheduledInstruction
+from repro.egraph.egraph import ENode
+from repro.isa.registers import ZERO_REGISTER
+from repro.isa.spec import ArchSpec
+from repro.lang.gma import GMA
+
+
+class MoveError(Exception):
+    """Raised when output binding is impossible (e.g. no temp register)."""
+
+
+def sequentialize_parallel_moves(
+    moves: Dict[str, str],
+    temp: Optional[str] = None,
+) -> List[Tuple[str, str]]:
+    """Order a parallel copy ``{dst: src}`` into sequential ``dst <- src``.
+
+    Moves whose destination no pending move still reads can go first; a
+    remaining cycle (e.g. a swap) is broken through ``temp``.  Identity
+    moves are dropped.  Raises :class:`MoveError` if a cycle exists and no
+    temporary was provided.
+    """
+    pending = {d: s for d, s in moves.items() if d != s}
+    out: List[Tuple[str, str]] = []
+    while pending:
+        # A destination nobody still needs to read can be overwritten.
+        free = [d for d in pending if d not in pending.values()]
+        if free:
+            dst = free[0]
+            out.append((dst, pending.pop(dst)))
+            continue
+        # Pure cycle: break it with the temporary.
+        if temp is None:
+            raise MoveError("cyclic parallel move needs a temporary register")
+        dst = next(iter(pending))
+        out.append((temp, dst))
+        # Whoever wanted to read dst now reads the temp.
+        pending = {
+            d: (temp if s == dst else s) for d, s in pending.items()
+        }
+    return out
+
+
+def bind_outputs(
+    schedule: Schedule,
+    gma: GMA,
+    spec: ArchSpec,
+    temp: Optional[str] = None,
+) -> Schedule:
+    """Append the late moves placing every register target's value into the
+    register its name is bound to.
+
+    Returns a new :class:`Schedule` (the input is unchanged) whose extra
+    ``mov`` instructions (``bis $31, src, dst`` on Alpha) run in the cycles
+    after the computation, as many per cycle as the issue width allows.
+    The memory target needs no move.  Values already in the right register
+    cost nothing — including the swap-only GMA, which becomes three moves
+    through a temporary.
+    """
+    moves: Dict[str, str] = {}
+    for index, target in enumerate(gma.targets):
+        operand = schedule.goal_operands[index]
+        if operand.memory:
+            continue
+        dst = schedule.register_map.get(target)
+        if dst is None:
+            # The target is a fresh variable with no register binding
+            # (e.g. "\res"); wherever the value sits is its home.
+            continue
+        if operand.register is not None:
+            moves[dst] = operand.register
+        else:
+            moves[dst] = "#%d" % operand.literal  # literal source marker
+
+    if temp is None:
+        used = set(schedule.register_map.values())
+        used.update(i.dest for i in schedule.instructions if i.dest)
+        from repro.isa.registers import TEMP_REGISTERS
+
+        for candidate in reversed(TEMP_REGISTERS):
+            if candidate not in used:
+                temp = candidate
+                break
+
+    ordered = sequentialize_parallel_moves(moves, temp)
+
+    mov_info = spec.info("bis") if spec.is_machine_op("bis") else None
+    if mov_info is None:
+        raise MoveError("target has no move-capable instruction")
+
+    instructions = list(schedule.instructions)
+    goal_operands = [
+        Operand(op.class_id, register=op.register, literal=op.literal,
+                memory=op.memory)
+        for op in schedule.goal_operands
+    ]
+    # All moves issue on one cluster so move-to-move chains need only a
+    # one-cycle gap, and they start late enough that every computed value
+    # is visible there regardless of which cluster produced it.
+    home_cluster = spec.clusters[mov_info.units[0]]
+    unit_cycle = [
+        u for u in mov_info.units if spec.clusters[u] == home_cluster
+    ]
+    per_cycle_limit = min(spec.issue_width, len(unit_cycle))
+    cycle = schedule.cycles + spec.cross_cluster_delay
+    issued_this_cycle = 0
+    mov_written: Dict[str, int] = {}
+
+    for dst, src in ordered:
+        if issued_this_cycle >= per_cycle_limit:
+            cycle += 1
+            issued_this_cycle = 0
+        # A move reading another late move's result must wait a cycle
+        # (results are readable the cycle after they complete).
+        if not src.startswith("#") and mov_written.get(src) == cycle:
+            cycle += 1
+            issued_this_cycle = 0
+        unit = unit_cycle[issued_this_cycle % len(unit_cycle)]
+        if src.startswith("#"):
+            literal = int(src[1:])
+            operands = [
+                Operand(-1, register=ZERO_REGISTER),
+                Operand(-1, literal=literal),
+            ]
+        else:
+            operands = [
+                Operand(-1, register=ZERO_REGISTER),
+                Operand(-1, register=src),
+            ]
+        instructions.append(
+            ScheduledInstruction(
+                cycle=cycle,
+                unit=unit,
+                node=ENode("bis", (), None, None),
+                class_id=-1,
+                mnemonic="mov",
+                operands=operands,
+                dest=dst,
+                comment="late move (section 7)",
+            )
+        )
+        issued_this_cycle += 1
+        mov_written[dst] = cycle
+
+    # After the moves, each register target's value lives in its name's
+    # register.
+    for index, target in enumerate(gma.targets):
+        operand = goal_operands[index]
+        if operand.memory:
+            continue
+        dst = schedule.register_map.get(target)
+        if dst is not None:
+            goal_operands[index] = Operand(operand.class_id, register=dst)
+
+    return Schedule(
+        instructions=instructions,
+        cycles=cycle + 1 if ordered else schedule.cycles,
+        register_map=dict(schedule.register_map),
+        goal_operands=goal_operands,
+    )

@@ -1,0 +1,354 @@
+"""The Denali pipeline (paper Figure 1).
+
+``Denali.compile_gma`` runs: goal terms → E-graph → saturation (matcher +
+axioms) → per-budget constraint generation → SAT → extraction, searching
+cycle budgets for the least feasible K, and finally differential
+verification of the emitted code against the GMA's reference semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.axioms.axiom import AxiomSet
+from repro.axioms.builtin import (
+    alpha_axioms,
+    constant_synthesis_axioms,
+    math_axioms,
+)
+from repro.core.extraction import Schedule, extract_schedule
+from repro.core.search import (
+    Probe,
+    SearchOutcome,
+    SearchStrategy,
+    search_min_cycles,
+)
+from repro.egraph.egraph import EGraph, ENode
+from repro.encode.constraints import EncodingOptions, encode_schedule
+from repro.isa.spec import ArchSpec
+from repro.lang.gma import GMA
+from repro.matching.saturation import SaturationConfig, SaturationStats, saturate
+from repro.sat.solver import CdclSolver
+from repro.terms.ops import OperatorRegistry, default_registry
+from repro.terms.term import Term
+
+
+@dataclass
+class DenaliConfig:
+    """Everything that parameterises one compilation."""
+
+    min_cycles: int = 1
+    max_cycles: int = 12
+    strategy: SearchStrategy = SearchStrategy.BINARY
+    saturation: SaturationConfig = field(default_factory=SaturationConfig)
+    encoding: EncodingOptions = field(default_factory=EncodingOptions)
+    solver_conflict_budget: Optional[int] = None
+    guard_safety: bool = True
+    verify: bool = True
+    verify_trials: int = 16
+    # Latency assumed for loads annotated as likely misses (section 6's
+    # profile-derived annotations; the EV6's L2 hit is ~12 cycles).
+    miss_latency: int = 12
+    # Append late moves placing each register target's value in its home
+    # register (section 7's destination-conflict handling).
+    bind_outputs: bool = False
+
+
+@dataclass
+class CompilationResult:
+    """What one ``compile_gma`` call produced."""
+
+    gma: GMA
+    schedule: Optional[Schedule]
+    cycles: Optional[int]
+    optimal: bool
+    search: SearchOutcome
+    saturation: SaturationStats
+    egraph: EGraph
+    goal_classes: List[int]
+    verified: Optional[bool] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def assembly(self) -> str:
+        if self.schedule is None:
+            raise ValueError("compilation found no schedule")
+        return self.schedule.render()
+
+    def summary(self) -> str:
+        if self.schedule is None:
+            return "no schedule within budget (floor proved: %d cycles)" % (
+                self.search.proved_floor
+            )
+        return "%d instructions in %d cycles%s" % (
+            self.schedule.instruction_count(),
+            self.cycles,
+            " (optimal)" if self.optimal else "",
+        )
+
+
+@dataclass
+class ProcedureResult:
+    """A whole compiled procedure: the stitched program plus per-GMA data."""
+
+    name: str
+    program: object  # AsmProgram
+    results: List[Tuple[str, CompilationResult]]
+
+    @property
+    def assembly(self) -> str:
+        return self.program.render()
+
+    def all_verified(self) -> bool:
+        return all(r.verified for _l, r in self.results)
+
+
+class Denali:
+    """The superoptimizer.
+
+    Args:
+        spec: the target architecture description.
+        axioms: the axiom set to match with; defaults to the built-in
+            mathematical + constant-synthesis + Alpha files.
+        registry: the operator registry (programs with ``\\opdecl``
+            operators pass their extended registry).
+        config: search/saturation/encoding parameters.
+    """
+
+    def __init__(
+        self,
+        spec: ArchSpec,
+        axioms: Optional[AxiomSet] = None,
+        registry: Optional[OperatorRegistry] = None,
+        config: Optional[DenaliConfig] = None,
+    ) -> None:
+        self.spec = spec
+        self.registry = registry if registry is not None else default_registry()
+        if axioms is None:
+            axioms = (
+                math_axioms(self.registry)
+                + constant_synthesis_axioms(self.registry)
+                + alpha_axioms(self.registry)
+            )
+        self.axioms = axioms
+        self.config = config if config is not None else DenaliConfig()
+        # Targets without byte-manipulation instructions need the explicit
+        # and64 alternatives for mask operations (see SaturationConfig).
+        if not spec.is_machine_op("mskbl"):
+            self.config.saturation.synthesize_mask_alternatives = True
+
+    # -- public -------------------------------------------------------------
+
+    def compile_term(self, term: Term, **kwargs) -> CompilationResult:
+        """Compile a single expression (an unguarded one-target GMA)."""
+        return self.compile_gma(GMA(("\\res",), (term,)), **kwargs)
+
+    def compile_procedure(
+        self,
+        procedure,
+        max_cycles: Optional[int] = None,
+    ) -> "ProcedureResult":
+        """Translate and superoptimize a whole procedure (section 3).
+
+        Every GMA is compiled against one shared register binding; loop
+        bodies are output-bound so their late moves commit the
+        loop-carried registers, and the blocks are stitched into a
+        complete assembly program with exit branches and the back edge.
+        """
+        from repro.core.program import assemble_procedure
+        from repro.isa.registers import INPUT_REGISTERS
+        from repro.lang.translate import translate_procedure
+        from repro.terms.ops import Sort
+        from repro.terms.term import subterms
+
+        gmas = translate_procedure(procedure, self.registry)
+
+        names = set()
+        for _label, gma in gmas:
+            for goal in gma.goal_terms():
+                for sub in subterms(goal):
+                    if sub.is_input and sub.sort != Sort.MEM:
+                        names.add(sub.name)
+            names.update(t for t in gma.targets if t not in ("M", "\\res"))
+        if len(names) > len(INPUT_REGISTERS):
+            raise ValueError("procedure has too many live variables")
+        bindings = {n: r for n, r in zip(sorted(names), INPUT_REGISTERS)}
+
+        results = []
+        compiled = []
+        for label, gma in gmas:
+            result = self.compile_gma(
+                gma,
+                input_registers=dict(bindings),
+                max_cycles=max_cycles,
+                bind_outputs=True,
+            )
+            if result.schedule is None:
+                raise ValueError(
+                    "no schedule for %s within the cycle budget" % label
+                )
+            results.append((label, result))
+            compiled.append((label, gma, result.schedule))
+
+        program = assemble_procedure(procedure.name, compiled, self.spec)
+        return ProcedureResult(
+            name=procedure.name, program=program, results=results
+        )
+
+    def compile_gma(
+        self,
+        gma: GMA,
+        input_registers: Optional[Dict[str, str]] = None,
+        max_cycles: Optional[int] = None,
+        bind_outputs: Optional[bool] = None,
+    ) -> CompilationResult:
+        """Generate near-optimal code for one GMA (the paper's Figure 1)."""
+        cfg = self.config
+        start = time.perf_counter()
+
+        if input_registers is None:
+            input_registers = self._default_input_registers(gma)
+
+        # Phase 1: matching (once per GMA — section 3).
+        eg = EGraph()
+        goal_ids = [eg.add_term(t) for t in gma.goal_terms()]
+        sat_stats = saturate(eg, self.axioms, self.registry, cfg.saturation)
+        goal_ids = [eg.find(g) for g in goal_ids]
+
+        unsafe = self._unsafe_terms(eg, gma, goal_ids)
+        overrides = self._latency_overrides(eg, gma)
+
+        # Phase 2: constraint generation + SAT, per cycle budget.
+        def probe(k: int):
+            p = Probe(cycles=k, satisfiable=None)
+            encoding = encode_schedule(
+                eg, self.spec, goal_ids, k, cfg.encoding, unsafe, overrides
+            )
+            st = encoding.cnf.stats()
+            p.vars, p.clauses = st["vars"], st["clauses"]
+            solver = CdclSolver(conflict_budget=cfg.solver_conflict_budget)
+            res = solver.solve(encoding.cnf)
+            p.satisfiable = res.satisfiable
+            p.conflicts = res.stats.conflicts
+            p.time_seconds = res.stats.time_seconds
+            payload = None
+            if res.satisfiable:
+                payload = extract_schedule(eg, encoding, res.model, input_registers)
+            return res.satisfiable, payload, p
+
+        outcome = search_min_cycles(
+            probe,
+            cfg.min_cycles,
+            max_cycles if max_cycles is not None else cfg.max_cycles,
+            cfg.strategy,
+        )
+
+        schedule = outcome.best_payload
+        bind = cfg.bind_outputs if bind_outputs is None else bind_outputs
+        if schedule is not None and bind:
+            from repro.core import moves
+
+            schedule = moves.bind_outputs(schedule, gma, self.spec)
+        result = CompilationResult(
+            gma=gma,
+            schedule=schedule,
+            cycles=outcome.best_cycles,
+            optimal=outcome.optimal,
+            search=outcome,
+            saturation=sat_stats,
+            egraph=eg,
+            goal_classes=goal_ids,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+        if schedule is not None and cfg.verify:
+            from repro.verify.checker import check_schedule
+
+            report = check_schedule(
+                gma,
+                schedule,
+                self.registry,
+                trials=cfg.verify_trials,
+                definitions=self.axioms.definitions(),
+            )
+            result.verified = report.passed
+
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _default_input_registers(gma: GMA) -> Dict[str, str]:
+        """Bind register inputs (and register targets) in name order.
+
+        Targets get bindings too even when the right-hand sides never read
+        them — output binding (:func:`repro.core.moves.bind_outputs`) needs
+        a home register for every target.
+        """
+        from repro.isa.registers import INPUT_REGISTERS
+        from repro.terms.ops import Sort
+        from repro.terms.term import subterms
+
+        names = {
+            sub.name
+            for goal in gma.goal_terms()
+            for sub in subterms(goal)
+            if sub.is_input and sub.sort != Sort.MEM
+        }
+        names.update(
+            t for t in gma.targets if t not in ("M", "\\res")
+        )
+        return {
+            name: reg for name, reg in zip(sorted(names), INPUT_REGISTERS)
+        }
+
+    def _latency_overrides(
+        self, eg: EGraph, gma: GMA
+    ) -> Optional[Dict[ENode, int]]:
+        """Raise the latency of every load equivalent to an annotated one.
+
+        The override applies to the whole equivalence class: equality
+        reasoning may give the scheduler a different-but-equal load node,
+        and it would miss in the cache just the same.
+        """
+        if not gma.slow_loads:
+            return None
+        overrides: Dict[ENode, int] = {}
+        for term in gma.slow_loads:
+            cid = eg.add_term(term)
+            for node in eg.enodes(cid):
+                if node.op == "select":
+                    overrides[node] = self.config.miss_latency
+        return overrides or None
+
+    def _unsafe_terms(
+        self, eg: EGraph, gma: GMA, goal_ids: Sequence[int]
+    ) -> Optional[Dict[ENode, int]]:
+        """Memory accesses that must wait for the guard (section 7).
+
+        When the GMA is guarded, its memory reads and writes are unsafe to
+        perform if the guard is false; they are constrained to launch only
+        after the guard's value is available.  Terms the guard itself
+        depends on are exempt (the guard must be computable first).
+        """
+        if gma.guard is None or not self.config.guard_safety:
+            return None
+        guard_id = eg.find(eg.add_term(gma.guard))
+        guard_support = set()
+        stack = [guard_id]
+        while stack:
+            cid = stack.pop()
+            if cid in guard_support:
+                continue
+            guard_support.add(cid)
+            for node in eg.enodes(cid):
+                for a in node.args:
+                    stack.append(eg.find(a))
+        unsafe: Dict[ENode, int] = {}
+        for node, cid in eg.all_nodes():
+            if node.op in ("select", "store") and cid not in guard_support:
+                unsafe[node] = guard_id
+        return unsafe or None

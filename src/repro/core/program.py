@@ -1,0 +1,236 @@
+"""Whole-procedure assembly: stitching GMA schedules into a program.
+
+"The Denali prototype translates its input into an equivalent assembly
+language source file" (section 3).  The crucial inner subroutine optimises
+one GMA; this module reassembles the procedure around the optimised
+bodies:
+
+* each loop GMA becomes a labelled block: the scheduled body, a ``beq``
+  exit branch placed immediately after the guard's value is available
+  (unsafe operations were already constrained to launch no earlier, so on
+  a taken exit they sit after the branch in program order and never
+  execute), the late moves committing the loop-carried registers, and a
+  back-edge ``br``;
+* the tail GMA becomes the exit block, ending in ``ret``.
+
+A matching program-level simulator (:func:`execute_program`) runs the
+assembled stream — branches included — so whole procedures are verified
+against the reference interpreter, not just straight-line bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.extraction import Schedule, ScheduledInstruction
+from repro.core.moves import bind_outputs
+from repro.isa.spec import ArchSpec
+from repro.lang.gma import GMA
+from repro.sim.machine import MachineState, _compute
+from repro.terms.ops import OperatorRegistry, default_registry
+from repro.terms.values import Memory
+
+
+class ProgramError(Exception):
+    """Raised when a procedure cannot be assembled or executed."""
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+
+@dataclass(frozen=True)
+class BranchIfZero:
+    register: str
+    target: str
+
+
+@dataclass(frozen=True)
+class Jump:
+    target: str
+
+
+@dataclass(frozen=True)
+class Ret:
+    pass
+
+
+Entry = Union[Label, BranchIfZero, Jump, Ret, ScheduledInstruction]
+
+
+@dataclass
+class AsmProgram:
+    """A complete procedure: labelled instruction stream + register map."""
+
+    name: str
+    entries: List[Entry]
+    register_map: Dict[str, str]
+    result_register: Optional[str]
+
+    def render(self) -> str:
+        lines = [
+            "// Register Map: {%s}"
+            % ", ".join("%s=%s" % kv for kv in sorted(self.register_map.items())),
+        ]
+        for entry in self.entries:
+            if isinstance(entry, Label):
+                lines.append("%s:" % entry.name)
+            elif isinstance(entry, BranchIfZero):
+                lines.append("    beq %s, %s" % (entry.register, entry.target))
+            elif isinstance(entry, Jump):
+                lines.append("    br %s" % entry.target)
+            elif isinstance(entry, Ret):
+                lines.append("    ret ($26)")
+            else:
+                lines.append("    " + entry.render())
+        lines.append(".end %s" % self.name)
+        return "\n".join(lines)
+
+    def instruction_count(self) -> int:
+        return sum(
+            1 for e in self.entries if isinstance(e, ScheduledInstruction)
+        )
+
+
+def _ordered(schedule: Schedule, spec: ArchSpec) -> List[ScheduledInstruction]:
+    """Program order consistent with the register allocator's positions."""
+    return sorted(
+        schedule.instructions,
+        key=lambda i: (
+            i.cycle,
+            spec.units.index(i.unit) if i.unit in spec.units else 0,
+        ),
+    )
+
+
+def assemble_procedure(
+    name: str,
+    compiled: Sequence[Tuple[str, GMA, Schedule]],
+    spec: ArchSpec,
+) -> AsmProgram:
+    """Stitch the compiled GMAs of one procedure into a program.
+
+    ``compiled`` lists ``(label, gma, schedule)`` in control-flow order:
+    loop blocks first (labels containing ``.loop``), then the tail.  Every
+    schedule must share one register map (compile them with the same
+    ``input_registers``); loop schedules must already be output-bound
+    (their late moves commit the loop-carried registers).
+    """
+    if not compiled:
+        raise ProgramError("no GMAs to assemble")
+    register_map: Dict[str, str] = {}
+    for _, _, schedule in compiled:
+        for key, reg in schedule.register_map.items():
+            if register_map.setdefault(key, reg) != reg:
+                raise ProgramError(
+                    "inconsistent register binding for %r across GMAs" % key
+                )
+
+    entries: List[Entry] = []
+    result_register: Optional[str] = None
+
+    for label, gma, schedule in compiled:
+        block = label.replace(".", "_")
+        entries.append(Label(block))
+        body = _ordered(schedule, spec)
+        if gma.guard is None:
+            entries.extend(body)
+            continue
+        # The guard's value: last goal operand (goal order = newvals+guard).
+        guard_operand = schedule.goal_operands[len(gma.newvals)]
+        if guard_operand.register is None:
+            raise ProgramError("guard value has no register")
+        # Completion cycle of the guard's producer.
+        guard_ready = -1
+        for instr in body:
+            if instr.dest == guard_operand.register:
+                guard_ready = instr.cycle + spec.latency(instr.node.op) - 1
+        exit_label = "%s_exit" % block
+        placed_branch = False
+        moves = [i for i in body if i.mnemonic == "mov"]
+        core = [i for i in body if i.mnemonic != "mov"]
+        for instr in core:
+            if not placed_branch and instr.cycle > guard_ready:
+                entries.append(BranchIfZero(guard_operand.register, exit_label))
+                placed_branch = True
+            entries.append(instr)
+        if not placed_branch:
+            entries.append(BranchIfZero(guard_operand.register, exit_label))
+        # Late moves commit the loop-carried registers, then loop.
+        entries.extend(moves)
+        entries.append(Jump(block))
+        entries.append(Label(exit_label))
+
+    # The result lives where the last tail's \res goal operand says.
+    last_label, last_gma, last_schedule = compiled[-1]
+    if "\\res" in last_gma.targets:
+        operand = last_schedule.goal_operands[
+            last_gma.targets.index("\\res")
+        ]
+        result_register = operand.register
+
+    entries.append(Ret())
+    return AsmProgram(
+        name=name,
+        entries=entries,
+        register_map=register_map,
+        result_register=result_register,
+    )
+
+
+def execute_program(
+    program: AsmProgram,
+    inputs: Dict[str, object],
+    registry: Optional[OperatorRegistry] = None,
+    max_steps: int = 1_000_000,
+) -> MachineState:
+    """Interpret an assembled program, branches and all.
+
+    Instructions execute in program order (which matches the register
+    allocator's assumptions); a taken ``beq`` skips to its label, ``br``
+    jumps back, ``ret`` stops.
+    """
+    registry = registry if registry is not None else default_registry()
+    state = MachineState()
+    for name, value in inputs.items():
+        if isinstance(value, Memory):
+            state.memory = value
+            continue
+        reg = program.register_map.get(name)
+        if reg is None:
+            raise ProgramError("input %r is not bound in the register map" % name)
+        state.write(reg, int(value))
+
+    labels = {
+        e.name: idx
+        for idx, e in enumerate(program.entries)
+        if isinstance(e, Label)
+    }
+    pc = 0
+    steps = 0
+    while pc < len(program.entries):
+        steps += 1
+        if steps > max_steps:
+            raise ProgramError("program did not terminate in %d steps" % max_steps)
+        entry = program.entries[pc]
+        if isinstance(entry, Label):
+            pc += 1
+        elif isinstance(entry, BranchIfZero):
+            if state.read(entry.register) == 0:
+                pc = labels[entry.target]
+            else:
+                pc += 1
+        elif isinstance(entry, Jump):
+            pc = labels[entry.target]
+        elif isinstance(entry, Ret):
+            break
+        else:
+            result = _compute(entry, state, registry)
+            if entry.node.op == "store":
+                state.memory = result
+            elif entry.dest is not None:
+                state.write(entry.dest, result)
+            pc += 1
+    return state

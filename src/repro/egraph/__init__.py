@@ -1,0 +1,23 @@
+"""The E-graph: a term DAG with an equivalence relation on nodes.
+
+This is the paper's central data structure (section 5): an E-graph of size
+O(n) can represent exponentially many distinct ways of computing a term.
+The implementation follows the classic congruence-closure design
+(Nelson-Oppen / Downey-Sethi-Tarjan) with the addition of *distinctions* —
+pairs of classes constrained to be uncombinable — which the matcher uses to
+delete untenable literals from clauses.
+"""
+
+from repro.egraph.unionfind import UnionFind
+from repro.egraph.egraph import EGraph, ENode, InconsistentError
+from repro.egraph.analysis import count_ways, extract_best, min_depth
+
+__all__ = [
+    "UnionFind",
+    "EGraph",
+    "ENode",
+    "InconsistentError",
+    "count_ways",
+    "extract_best",
+    "min_depth",
+]

@@ -1,0 +1,183 @@
+"""E-graph analyses.
+
+:func:`count_ways` counts the distinct ways of computing a class — the
+quantity behind the paper's observation that "an E-graph of size O(n) can
+represent Θ(2^n) distinct ways of computing a term" and that AC matching
+finds "more than a hundred different ways of computing a+b+c+d+e"
+(section 5).  :func:`min_depth` gives the dataflow-critical-path lower
+bound used by tests as a sanity floor for schedules.  :func:`extract_best`
+picks the cheapest term of a class under an additive cost model — the
+classic (non-Denali) E-graph extraction, useful for rewriting-style use of
+the package and as a quick upper bound before the SAT search runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.terms.ops import OperatorRegistry, default_registry
+from repro.terms.term import Term, const, inp, mk
+
+
+def count_ways(
+    eg: EGraph,
+    cid: int,
+    is_computable_op: Optional[Callable[[str], bool]] = None,
+    cap: int = 10**9,
+) -> int:
+    """Number of distinct derivations of class ``cid``.
+
+    A derivation picks one enode of the class and, recursively, a
+    derivation of each argument class.  Leaves (constants, inputs) count
+    as one way.  ``is_computable_op`` filters which operators may be used
+    (e.g. only machine operations); cyclic derivations are not counted
+    (a class being derived may not appear in its own derivation), matching
+    the intuition of "a way of computing".  Counts saturate at ``cap``.
+    """
+
+    def allowed(node: ENode) -> bool:
+        if node.op in ("const", "input"):
+            return True
+        if is_computable_op is None:
+            return True
+        return is_computable_op(node.op)
+
+    def ways(root: int, active: Set[int]) -> int:
+        root = eg.find(root)
+        if root in active:
+            return 0  # cyclic support does not constitute a computation
+        total = 0
+        active = active | {root}
+        for node in eg.enodes(root):
+            if not allowed(node):
+                continue
+            if not node.args:
+                total += 1
+                continue
+            product = 1
+            for arg in node.args:
+                product *= ways(arg, active)
+                if product == 0 or product >= cap:
+                    break
+            total += product
+            if total >= cap:
+                return cap
+        return min(total, cap)
+
+    return ways(cid, set())
+
+
+def min_depth(
+    eg: EGraph,
+    cid: int,
+    latency: Callable[[str], Optional[int]],
+    free: Optional[Set[int]] = None,
+) -> Optional[int]:
+    """The least dataflow depth (in cycles) at which ``cid`` can be ready.
+
+    ``latency(op)`` returns the operator's latency or ``None`` if the
+    machine cannot execute it.  ``free`` classes cost zero.  Returns
+    ``None`` for uncomputable classes.  This ignores resource conflicts, so
+    it is a true lower bound on any schedule — tests compare it against
+    what the SAT search finds.
+    """
+    free = free or set()
+    memo: Dict[int, Optional[int]] = {}
+
+    def depth(root: int, active: frozenset) -> Optional[int]:
+        root = eg.find(root)
+        if root in free:
+            return 0
+        if root in memo:
+            return memo[root]
+        if root in active:
+            return None
+        active = active | {root}
+        best: Optional[int] = None
+        for node in eg.enodes(root):
+            if node.op in ("const", "input"):
+                best = 0 if best is None else min(best, 0)
+                continue
+            lat = latency(node.op)
+            if lat is None:
+                continue
+            worst_arg = 0
+            feasible = True
+            for arg in node.args:
+                d = depth(arg, active)
+                if d is None:
+                    feasible = False
+                    break
+                worst_arg = max(worst_arg, d)
+            if feasible:
+                cand = worst_arg + lat
+                best = cand if best is None else min(best, cand)
+        if not active - {root}:  # only memoise top-level results
+            memo[root] = best
+        return best
+
+    return depth(cid, frozenset())
+
+
+def extract_best(
+    eg: EGraph,
+    cid: int,
+    op_cost: Callable[[str], Optional[float]],
+    registry: Optional[OperatorRegistry] = None,
+) -> Optional[Tuple[Term, float]]:
+    """The cheapest term of class ``cid`` under an additive cost model.
+
+    ``op_cost(op)`` gives the cost of one application (``None`` = the
+    operator may not be used); constants and inputs cost zero.  Costs are
+    additive over the extracted *tree*, so shared subterms are charged per
+    occurrence — this is the classic E-graph extraction, not Denali's
+    schedule-aware optimisation, and serves as its quick upper bound.
+
+    Returns ``(term, cost)`` or ``None`` when no usable derivation exists.
+    """
+    registry = registry if registry is not None else default_registry()
+    root = eg.find(cid)
+
+    # Bellman-Ford style relaxation over classes.
+    best_cost: Dict[int, float] = {}
+    best_node: Dict[int, ENode] = {}
+    changed = True
+    while changed:
+        changed = False
+        for node, klass in eg.all_nodes():
+            if node.op == "const" or node.op == "input":
+                cost = 0.0
+            else:
+                base = op_cost(node.op)
+                if base is None:
+                    continue
+                cost = float(base)
+                feasible = True
+                for arg in node.args:
+                    arg_cost = best_cost.get(eg.find(arg))
+                    if arg_cost is None:
+                        feasible = False
+                        break
+                    cost += arg_cost
+                if not feasible:
+                    continue
+            if cost < best_cost.get(klass, float("inf")):
+                best_cost[klass] = cost
+                best_node[klass] = node
+                changed = True
+
+    if root not in best_cost:
+        return None
+
+    def build(klass: int) -> Term:
+        node = best_node[eg.find(klass)]
+        if node.op == "const":
+            return const(node.value)
+        if node.op == "input":
+            sort = eg.class_sort(klass)
+            return inp(node.name, sort)
+        args = tuple(build(a) for a in node.args)
+        return mk(node.op, *args, registry=registry)
+
+    return build(root), best_cost[root]

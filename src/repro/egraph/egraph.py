@@ -1,0 +1,277 @@
+"""Congruence-closed E-graph with distinctions.
+
+Two nodes are equivalent iff the terms they represent are identical in
+value; the equivalence relation is maintained under congruence: if the
+arguments of two applications of the same operator are pairwise equivalent,
+the applications are merged.  Distinctions (``T != U``) mark pairs of
+classes as *uncombinable*; merging such a pair raises
+:class:`InconsistentError`, as does merging two distinct constants.
+
+The implementation uses deferred rebuilding (in the style popularised by
+egg): :meth:`merge` only unions the classes and marks the graph dirty;
+congruence closure runs in :meth:`rebuild`, which re-canonicalises the
+hashcons to a fixpoint.  All read operations rebuild lazily, so clients
+never observe a non-congruent graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
+
+from repro.egraph.unionfind import UnionFind
+from repro.terms.ops import Sort
+from repro.terms.term import Term
+
+
+class InconsistentError(Exception):
+    """Raised when an assertion would make the E-graph inconsistent."""
+
+
+class ENode(NamedTuple):
+    """One node of the E-graph: an operator applied to argument *classes*.
+
+    Constants carry their value in ``value``; inputs carry their name in
+    ``name``.  ENodes handed out by the public API are canonicalised
+    (argument class ids are union-find roots).
+    """
+
+    op: str
+    args: Tuple[int, ...]
+    value: Optional[int]
+    name: Optional[str]
+
+    def pretty(self) -> str:
+        if self.op == "const":
+            return str(self.value)
+        if self.op == "input":
+            return str(self.name)
+        return "(%s %s)" % (self.op, " ".join("c%d" % a for a in self.args))
+
+
+@dataclass
+class _ClassData:
+    """Bookkeeping attached to each equivalence-class root."""
+
+    sort: Sort = Sort.INT
+    const_value: Optional[int] = None
+    # Roots this class is constrained to differ from (distinctions).
+    distinct_from: Set[int] = field(default_factory=set)
+
+
+class EGraph:
+    """The E-graph proper.
+
+    Typical use::
+
+        eg = EGraph()
+        c = eg.add_term(term)          # add a goal term
+        eg.merge(c1, c2)               # assert an equality (axiom instance)
+        eg.assert_distinct(c1, c2)     # assert a distinction
+        for cid in eg.classes(): ...   # enumerate equivalence classes
+    """
+
+    def __init__(self) -> None:
+        self._uf = UnionFind()
+        self._classes: Dict[int, _ClassData] = {}
+        self._hashcons: Dict[ENode, int] = {}
+        self._node_term: Dict[ENode, Term] = {}
+        self._term_class: Dict[Term, int] = {}
+        self._dirty = False
+        self.version = 0  # bumped on every structural change; used by matcher
+
+    # -- introspection ------------------------------------------------------
+
+    def find(self, cid: int) -> int:
+        return self._uf.find(cid)
+
+    def classes(self) -> Iterator[int]:
+        """All equivalence-class roots."""
+        self.rebuild()
+        seen: Set[int] = set()
+        for cid in self._classes:
+            root = self._uf.find(cid)
+            if root not in seen:
+                seen.add(root)
+                yield root
+
+    def enodes(self, cid: int) -> List[ENode]:
+        """The canonicalised nodes of ``cid``'s class."""
+        self.rebuild()
+        root = self._uf.find(cid)
+        return [
+            node
+            for node, c in self._hashcons.items()
+            if self._uf.find(c) == root
+        ]
+
+    def all_nodes(self) -> Iterator[Tuple[ENode, int]]:
+        """All (canonical enode, class root) pairs."""
+        self.rebuild()
+        for node, cid in self._hashcons.items():
+            yield node, self._uf.find(cid)
+
+    def nodes_with_op(self, op: str) -> List[Tuple[ENode, int]]:
+        """All (canonical enode, class root) pairs whose operator is ``op``."""
+        self.rebuild()
+        return [
+            (node, self._uf.find(cid))
+            for node, cid in self._hashcons.items()
+            if node.op == op
+        ]
+
+    def class_sort(self, cid: int) -> Sort:
+        return self._data(cid).sort
+
+    def const_of(self, cid: int) -> Optional[int]:
+        """The constant value of the class, if it contains a constant node."""
+        return self._data(cid).const_value
+
+    def witness(self, node: ENode) -> Optional[Term]:
+        """A term that was interned as this enode, if any (for display)."""
+        return self._node_term.get(node)
+
+    def num_classes(self) -> int:
+        return sum(1 for _ in self.classes())
+
+    def num_enodes(self) -> int:
+        self.rebuild()
+        return len(self._hashcons)
+
+    def are_equal(self, a: int, b: int) -> bool:
+        self.rebuild()
+        return self._uf.same(a, b)
+
+    def are_distinct(self, a: int, b: int) -> bool:
+        """True if ``a`` and ``b`` are constrained to be unequal."""
+        self.rebuild()
+        return self._distinct_now(a, b)
+
+    # -- construction ------------------------------------------------------
+
+    def add_term(self, term: Term) -> int:
+        """Intern ``term`` (and all its subterms); return its class root."""
+        cached = self._term_class.get(term)
+        if cached is not None:
+            return self._uf.find(cached)
+        arg_cids = tuple(self.add_term(a) for a in term.args)
+        cid = self.add_enode(
+            term.op, arg_cids, value=term.value, name=term.name, sort=term.sort
+        )
+        self._term_class[term] = cid
+        node = self._canon(ENode(term.op, arg_cids, term.value, term.name))
+        self._node_term.setdefault(node, term)
+        return cid
+
+    def add_enode(
+        self,
+        op: str,
+        args: Tuple[int, ...],
+        value: Optional[int] = None,
+        name: Optional[str] = None,
+        sort: Sort = Sort.INT,
+    ) -> int:
+        """Intern one enode; returns its (possibly pre-existing) class root."""
+        node = self._canon(ENode(op, tuple(args), value, name))
+        existing = self._hashcons.get(node)
+        if existing is not None:
+            return self._uf.find(existing)
+        cid = self._uf.make_set()
+        data = _ClassData(sort=sort)
+        if op == "const":
+            data.const_value = value
+        self._classes[cid] = data
+        self._hashcons[node] = cid
+        self.version += 1
+        return cid
+
+    # -- assertions ----------------------------------------------------------
+
+    def merge(self, a: int, b: int) -> int:
+        """Assert ``a = b``.  Congruence closure is deferred to the next read."""
+        root = self._union(a, b)
+        return root
+
+    def assert_distinct(self, a: int, b: int) -> None:
+        """Assert ``a != b`` (their classes become uncombinable)."""
+        self.rebuild()
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            raise InconsistentError(
+                "distinction asserted between already-equal classes"
+            )
+        self._data(ra).distinct_from.add(rb)
+        self._data(rb).distinct_from.add(ra)
+        self.version += 1
+
+    # -- congruence closure --------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Re-canonicalise the hashcons until congruence closure is reached."""
+        while self._dirty:
+            self._dirty = False
+            fresh: Dict[ENode, int] = {}
+            for node, cid in self._hashcons.items():
+                canon = self._canon(node)
+                cid = self._uf.find(cid)
+                if canon != node and node in self._node_term:
+                    self._node_term.setdefault(canon, self._node_term[node])
+                dup = fresh.get(canon)
+                if dup is not None:
+                    if dup != cid:
+                        # Congruent twins discovered: merge their classes.
+                        self._union(dup, cid)
+                else:
+                    fresh[canon] = cid
+            self._hashcons = fresh
+
+    # -- helpers -------------------------------------------------------------
+
+    def _data(self, cid: int) -> _ClassData:
+        return self._classes[self._uf.find(cid)]
+
+    def _distinct_now(self, a: int, b: int) -> bool:
+        ra, rb = self._uf.find(a), self._uf.find(b)
+        if ra == rb:
+            return False
+        da, db = self._classes[ra], self._classes[rb]
+        if any(self._uf.find(x) == rb for x in da.distinct_from):
+            return True
+        if any(self._uf.find(x) == ra for x in db.distinct_from):
+            return True
+        return (
+            da.const_value is not None
+            and db.const_value is not None
+            and da.const_value != db.const_value
+        )
+
+    def _union(self, a: int, b: int) -> int:
+        ra, rb = self._uf.find(a), self._uf.find(b)
+        if ra == rb:
+            return ra
+        if self._distinct_now(ra, rb):
+            raise InconsistentError(
+                "merge of classes c%d and c%d violates a distinction" % (ra, rb)
+            )
+        da, db = self._classes[ra], self._classes[rb]
+        if da.sort != db.sort:
+            raise InconsistentError(
+                "merge of classes with different sorts (%s vs %s)"
+                % (da.sort.value, db.sort.value)
+            )
+        new_root = self._uf.union(ra, rb)
+        old_root = rb if new_root == ra else ra
+        keep, drop = self._classes[new_root], self._classes[old_root]
+        if drop.const_value is not None:
+            keep.const_value = drop.const_value
+        keep.distinct_from |= drop.distinct_from
+        del self._classes[old_root]
+        self._dirty = True
+        self.version += 1
+        return new_root
+
+    def _canon(self, node: ENode) -> ENode:
+        args = tuple(self._uf.find(a) for a in node.args)
+        if args == node.args:
+            return node
+        return ENode(node.op, args, node.value, node.name)

@@ -1,0 +1,379 @@
+"""The Denali constraint generator (paper section 6, with section 7 extras).
+
+Given a saturated E-graph, an :class:`~repro.isa.spec.ArchSpec` and a cycle
+budget ``K``, build a CNF whose models are exactly the ``K``-cycle machine
+programs computing every goal class.  The boolean unknowns follow the paper:
+
+* ``F(i, T, u)`` — machine term ``T`` is launched at cycle ``i`` on unit
+  ``u`` (the multiple-issue refinement of the paper's ``L``);
+* ``L(i, T)``  — ``T`` is launched at cycle ``i`` (``≡ ∨_u F(i,T,u)``);
+* ``A(i, T)``  — a computation of ``T`` completes at the end of cycle ``i``
+  (``≡ L(i − λ(T) + 1, T)``);
+* ``B(i, Q, c)`` — the value of class ``Q`` is available to cluster ``c``
+  by the end of cycle ``i``.
+
+and the constraint families:
+
+1. latency linking (``A`` ≡ shifted ``L``);
+2. operand availability: a launch on unit ``u`` needs each argument class
+   available to ``u``'s cluster by the previous cycle;
+3. availability definition: ``B(i,Q,c)`` holds only if some launch of a
+   machine term in ``Q`` completes early enough (including the
+   cross-cluster delay) — the paper notes only this direction is needed;
+4. issue rules: at most one launch per (cycle, unit);
+5. goals: every goal class available somewhere by cycle ``K − 1``;
+
+plus guard-safety ordering (section 7): terms marked unsafe may only launch
+after the guard class is available.
+
+Free classes (register/memory inputs, and constants that fit the immediate
+field or the zero register) need no computation; constants outside the
+immediate range are materialised by the ``ldiq`` pseudo-instruction, whose
+cost thereby participates in the optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.isa.spec import ArchSpec
+from repro.sat.cnf import CNF
+from repro.terms.ops import Sort
+
+
+class EncodeError(Exception):
+    """Raised when the goals cannot be encoded (e.g. uncomputable class)."""
+
+
+@dataclass
+class EncodingOptions:
+    """Feature switches for the encoder."""
+
+    # Also encode the <= direction of the B definition (strict mode used by
+    # the encoder's differential tests; the paper's remark that only one
+    # direction is needed is validated against this).
+    strict_availability: bool = False
+    # Inject ldiq materialisation nodes for out-of-range constants.
+    materialize_constants: bool = True
+    # Require every launched term to be launched at most once.  Off by
+    # default: the EV6 sometimes *wants* duplicated computations (the
+    # "necessary unused instruction" of Figure 4).
+    launch_at_most_once: bool = False
+
+
+@dataclass
+class Encoding:
+    """The CNF plus the maps needed to decode a model into a schedule."""
+
+    cnf: CNF
+    cycles: int
+    goal_classes: List[int]
+    machine_terms: List[Tuple[ENode, int]]  # (term, class root)
+    support_classes: List[int]
+    free_classes: Set[int]
+    launch_vars: Dict[Tuple[int, ENode, str], int]  # (cycle, term, unit) -> var
+    avail_vars: Dict[Tuple[int, int, int], int]  # (cycle, class, cluster) -> var
+    spec: ArchSpec = None  # type: ignore[assignment]
+    # Per-node latency overrides (profile-style memory annotations, §6).
+    latency_overrides: Dict[ENode, int] = field(default_factory=dict)
+
+    def latency(self, node: ENode) -> int:
+        """The latency the schedule was encoded with for this node."""
+        override = self.latency_overrides.get(node)
+        if override is not None:
+            return override
+        return self.spec.latency(node.op)
+
+    def stats(self) -> Dict[str, int]:
+        out = dict(self.cnf.stats())
+        out["machine_terms"] = len(self.machine_terms)
+        out["support_classes"] = len(self.support_classes)
+        return out
+
+
+def _support(eg: EGraph, goals: Sequence[int]) -> List[int]:
+    """All classes reachable from the goal classes through any enode."""
+    seen: Set[int] = set()
+    stack = [eg.find(g) for g in goals]
+    while stack:
+        cid = stack.pop()
+        if cid in seen:
+            continue
+        seen.add(cid)
+        for node in eg.enodes(cid):
+            for arg in node.args:
+                root = eg.find(arg)
+                if root not in seen:
+                    stack.append(root)
+    return sorted(seen)
+
+
+def _free_classes(
+    eg: EGraph, support: Iterable[int], spec: ArchSpec
+) -> Set[int]:
+    """Classes available without computation: inputs and immediate constants."""
+    free: Set[int] = set()
+    for cid in support:
+        value = eg.const_of(cid)
+        if value is not None and spec.fits_immediate(value):
+            free.add(cid)
+            continue
+        if any(node.op == "input" for node in eg.enodes(cid)):
+            free.add(cid)
+    return free
+
+
+def _inject_ldiq(eg: EGraph, support: Iterable[int], spec: ArchSpec) -> None:
+    """Give out-of-range constant classes an ldiq materialisation node."""
+    if not spec.is_machine_op("ldiq"):
+        return
+    for cid in list(support):
+        value = eg.const_of(cid)
+        if value is None or spec.fits_immediate(value):
+            continue
+        if eg.class_sort(cid) != Sort.INT:
+            continue
+        node = eg.add_enode("ldiq", (eg.find(cid),), sort=Sort.INT)
+        if not eg.are_equal(node, cid):
+            eg.merge(node, cid)
+
+
+def _computable_classes(
+    eg: EGraph,
+    support: Sequence[int],
+    free: Set[int],
+    spec: ArchSpec,
+) -> Set[int]:
+    """Fixpoint: a class is computable if free or some machine enode of it
+    has all-computable arguments (ldiq needs none)."""
+    computable = set(free)
+    changed = True
+    while changed:
+        changed = False
+        for cid in support:
+            if cid in computable:
+                continue
+            for node in eg.enodes(cid):
+                if not spec.is_machine_op(node.op):
+                    continue
+                if node.op == "ldiq":
+                    computable.add(cid)
+                    changed = True
+                    break
+                if all(eg.find(a) in computable for a in node.args):
+                    computable.add(cid)
+                    changed = True
+                    break
+    return computable
+
+
+def encode_schedule(
+    eg: EGraph,
+    spec: ArchSpec,
+    goals: Sequence[int],
+    cycles: int,
+    options: Optional[EncodingOptions] = None,
+    unsafe_terms: Optional[Dict[ENode, int]] = None,
+    latency_overrides: Optional[Dict[ENode, int]] = None,
+) -> Encoding:
+    """Build the CNF asking "is there a ``cycles``-cycle program?".
+
+    ``unsafe_terms`` maps enodes to a guard class id: such a term may only
+    launch once the guard is available to the launching cluster (section 7).
+
+    ``latency_overrides`` maps enodes to latencies that replace the
+    architectural table's — how the paper's profile-derived memory
+    annotations enter the encoding (section 6: "latency annotations are
+    important for performance but not for correctness").
+
+    Raises :class:`EncodeError` if some goal class cannot be computed at all
+    with the given architecture (no budget would suffice).
+    """
+    options = options or EncodingOptions()
+    overrides = latency_overrides or {}
+
+    def lat_of(node: ENode) -> int:
+        override = overrides.get(node)
+        return override if override is not None else spec.latency(node.op)
+
+    if cycles < 1:
+        raise EncodeError("cycle budget must be at least 1")
+
+    goal_roots = [eg.find(g) for g in goals]
+    support = _support(eg, goal_roots)
+    if options.materialize_constants:
+        _inject_ldiq(eg, support, spec)
+        support = _support(eg, goal_roots)
+    free = _free_classes(eg, support, spec)
+    computable = _computable_classes(eg, support, free, spec)
+
+    for g in goal_roots:
+        if g not in computable:
+            raise EncodeError(
+                "goal class c%d cannot be computed by %s with the available "
+                "axioms" % (g, spec.name)
+            )
+
+    # Machine terms: computable-argument machine-op enodes in the support.
+    machine_terms: List[Tuple[ENode, int]] = []
+    for cid in support:
+        if cid not in computable:
+            continue
+        for node in eg.enodes(cid):
+            if node.op in ("const", "input") or not spec.is_machine_op(node.op):
+                continue
+            if node.op != "ldiq" and not all(
+                eg.find(a) in computable for a in node.args
+            ):
+                continue
+            if lat_of(node) > cycles:
+                continue  # cannot complete within any schedule this short
+            machine_terms.append((node, cid))
+
+    clusters = spec.cluster_ids()
+    cnf = CNF()
+    launch_vars: Dict[Tuple[int, ENode, str], int] = {}
+    avail_vars: Dict[Tuple[int, int, int], int] = {}
+
+    # -- variable allocation (L, A, B named per the paper, F per unit) -------
+    for node, cid in machine_terms:
+        info = spec.info(node.op)
+        for i in range(cycles):
+            for u in info.units:
+                launch_vars[(i, node, u)] = cnf.new_var(("F", i, node, u))
+            cnf.new_var(("L", i, node))
+            cnf.new_var(("A", i, node))
+    needs_avail = [
+        cid for cid in support if cid in computable and cid not in free
+    ]
+    for cid in needs_avail:
+        for i in range(cycles):
+            for c in clusters:
+                avail_vars[(i, cid, c)] = cnf.new_var(("B", i, cid, c))
+
+    # -- family 0: L is the disjunction of the per-unit launches ------------
+    for node, cid in machine_terms:
+        info = spec.info(node.op)
+        for i in range(cycles):
+            lvar = cnf.var(("L", i, node))
+            cnf.iff_or(lvar, [launch_vars[(i, node, u)] for u in info.units])
+
+    # -- family 1: latency linking A(i,T) == L(i - lat + 1, T) ----------------
+    for node, cid in machine_terms:
+        lat = lat_of(node)
+        for i in range(cycles):
+            avar = cnf.var(("A", i, node))
+            j = i - lat + 1
+            if j < 0:
+                cnf.add(-avar)
+            else:
+                lvar = cnf.var(("L", j, node))
+                cnf.implies(avar, lvar)
+                cnf.implies(lvar, avar)
+
+    # -- family 2: operand availability ------------------------------------
+    for node, cid in machine_terms:
+        info = spec.info(node.op)
+        arg_classes = (
+            [] if node.op == "ldiq" else [eg.find(a) for a in node.args]
+        )
+        deps = [a for a in arg_classes if a not in free]
+        if unsafe_terms and node in unsafe_terms:
+            guard = eg.find(unsafe_terms[node])
+            if guard not in free and guard not in deps:
+                deps.append(guard)
+        if not deps:
+            continue
+        for i in range(cycles):
+            for u in info.units:
+                fvar = launch_vars[(i, node, u)]
+                cluster = spec.clusters[u]
+                for q in deps:
+                    if i == 0:
+                        cnf.add(-fvar)  # nothing is available before cycle 0
+                        break
+                    cnf.implies(fvar, avail_vars[(i - 1, q, cluster)])
+
+    # -- family 3: availability definition -----------------------------------
+    # B(i,Q,c) => some launch of a term in Q whose result reaches cluster c
+    # by the end of cycle i.
+    producers: Dict[int, List[Tuple[ENode, str]]] = {}
+    for node, cid in machine_terms:
+        info = spec.info(node.op)
+        for u in info.units:
+            producers.setdefault(cid, []).append((node, u))
+    for cid in needs_avail:
+        for c in clusters:
+            for i in range(cycles):
+                bvar = avail_vars[(i, cid, c)]
+                supports: List[int] = []
+                for node, u in producers.get(cid, ()):
+                    lat = lat_of(node)
+                    delay = spec.result_delay(u, c)
+                    j_max = i - lat + 1 - delay
+                    for j in range(0, min(j_max, cycles - 1) + 1):
+                        supports.append(launch_vars[(j, node, u)])
+                cnf.implies_or(bvar, supports)
+                if options.strict_availability:
+                    for s in supports:
+                        cnf.add(-s, bvar)
+
+    # -- family 4: issue rules (one launch per unit per cycle) ----------------
+    per_slot: Dict[Tuple[int, str], List[int]] = {}
+    for (i, node, u), var in launch_vars.items():
+        per_slot.setdefault((i, u), []).append(var)
+    for slot_vars in per_slot.values():
+        cnf.at_most_one(slot_vars)
+
+    if options.launch_at_most_once:
+        per_term: Dict[ENode, List[int]] = {}
+        for (i, node, u), var in launch_vars.items():
+            per_term.setdefault(node, []).append(var)
+        for term_vars in per_term.values():
+            cnf.at_most_one(term_vars)
+
+    # -- family 6: memory anti-dependences ------------------------------------
+    # A store superseding memory version m must not launch until every
+    # scheduled load of version m has completed: on the real machine the
+    # store destroys m.  (The paper handles reorderable cases by equality
+    # reasoning — the select/store clause axiom — which makes the load read
+    # a *different*, provably equal, memory version instead.)
+    loads_by_mem: Dict[int, List[ENode]] = {}
+    for node, cid in machine_terms:
+        if node.op == "select":
+            loads_by_mem.setdefault(eg.find(node.args[0]), []).append(node)
+    for snode, scid in machine_terms:
+        if snode.op != "store":
+            continue
+        mem_class = eg.find(snode.args[0])
+        for lnode in loads_by_mem.get(mem_class, ()):
+            llat = lat_of(lnode)
+            sinfo = spec.info(snode.op)
+            for i in range(cycles):
+                for u in sinfo.units:
+                    fvar = launch_vars[(i, snode, u)]
+                    for j in range(max(0, i - llat + 1), cycles):
+                        cnf.add(-fvar, -cnf.var(("L", j, lnode)))
+
+    # -- family 5: goals computed within the budget ---------------------------
+    for g in goal_roots:
+        if g in free:
+            continue
+        cnf.add_clause(
+            [avail_vars[(cycles - 1, g, c)] for c in clusters]
+        )
+
+    return Encoding(
+        cnf=cnf,
+        cycles=cycles,
+        goal_classes=goal_roots,
+        machine_terms=machine_terms,
+        support_classes=support,
+        free_classes=free,
+        launch_vars=launch_vars,
+        avail_vars=avail_vars,
+        spec=spec,
+        latency_overrides=dict(overrides),
+    )

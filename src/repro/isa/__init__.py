@@ -1,0 +1,23 @@
+"""Architecture descriptions.
+
+The paper's constraint generator consumes "an architectural description,
+which includes tables specifying which functional units can execute which
+instructions, and a table of latencies" (section 3).  :class:`ArchSpec` is
+that description; :func:`ev6` instantiates it for the Alpha EV6 (quad
+issue, two clusters with a cross-cluster delay), and :func:`simple_risc`
+gives the single-issue machine of the paper's section 6 exposition.
+"""
+
+from repro.isa.spec import ArchSpec, InstructionInfo
+from repro.isa.alpha import ev6, itanium_like, simple_risc, toy_tuple_machine
+from repro.isa.registers import RegisterFile
+
+__all__ = [
+    "ArchSpec",
+    "InstructionInfo",
+    "ev6",
+    "itanium_like",
+    "simple_risc",
+    "toy_tuple_machine",
+    "RegisterFile",
+]

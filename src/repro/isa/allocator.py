@@ -1,0 +1,69 @@
+"""Destination-register allocation with reuse.
+
+The Denali prototype "ignores register allocation" in the sense of doing
+nothing clever across GMAs; within one straight-line schedule, though, a
+register must be reusable once its value is dead, or bodies like the
+paper's 31-instruction checksum loop would not fit the machine.  This is
+the minimal linear-scan allocator both the extractor and the conventional
+baseline use: walk the schedule in issue order, release a register at its
+value's last use, allocate destinations from the free pool.
+
+Values listed as *protected* (the goal values, and loop live-outs) are
+never released.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+
+class AllocationError(Exception):
+    """Raised when the pool cannot cover the live values."""
+
+
+def allocate_destinations(
+    needs_dest: Sequence[bool],
+    uses: Dict[int, List[int]],
+    protected: Set[int],
+    pool: Sequence[str],
+) -> List[Optional[str]]:
+    """Assign destination registers to a schedule in issue order.
+
+    Args:
+        needs_dest: per position, whether the instruction writes a register.
+        uses: position -> positions of instructions reading its result.
+        protected: positions whose value must survive to the end.
+        pool: available register names, preferred order.
+
+    Returns a register name per position (``None`` where no destination is
+    needed).  An instruction may reuse a register read by itself or by any
+    earlier instruction whose value dies before this position — reads
+    happen at issue, before the write lands.
+    """
+    n = len(needs_dest)
+    last_use = {
+        i: max(us) if us else -1 for i, us in uses.items()
+    }
+    free = list(pool)
+    assigned: List[Optional[str]] = [None] * n
+    live: Dict[int, str] = {}  # position -> register currently held
+
+    for pos in range(n):
+        # Release values whose last reader is this instruction (the read
+        # occurs at issue, so the register is reusable as a destination).
+        for owner in sorted(list(live)):
+            if owner in protected:
+                continue
+            if last_use.get(owner, -1) <= pos:
+                free.insert(0, live.pop(owner))
+        if not needs_dest[pos]:
+            continue
+        if not free:
+            raise AllocationError(
+                "register pool exhausted at position %d (%d live values)"
+                % (pos, len(live))
+            )
+        reg = free.pop(0)
+        assigned[pos] = reg
+        live[pos] = reg
+    return assigned

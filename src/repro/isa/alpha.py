@@ -1,0 +1,250 @@
+"""Concrete architecture descriptions: Alpha EV6 and test machines.
+
+The EV6 model follows the paper's target: a quad-issue processor with four
+integer execution slots — two "upper" units (U0, U1: the only ones with the
+shifter, so all byte-manipulation instructions go there; the multiplier
+hangs off U1) and two "lower" units (L0, L1: loads, stores and branches,
+plus plain arithmetic/logic) — organised as two clusters {U0, L0} and
+{U1, L1} with a one-cycle delay for a result to cross clusters.  Latencies
+are the published EV6 integer latencies (1 for ALU, 7 for multiply, 3 for a
+D-cache-hit load).
+
+The real EV6 also slots instructions to units by fetch position; like the
+paper, we let the scheduler choose units freely and note the approximation
+(see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.isa.spec import ArchSpec, InstructionInfo
+
+_UPPER: Tuple[str, ...] = ("U0", "U1")
+_LOWER: Tuple[str, ...] = ("L0", "L1")
+_ALL: Tuple[str, ...] = ("U0", "U1", "L0", "L1")
+
+
+def _ev6_instructions() -> Dict[str, InstructionInfo]:
+    def alu(op, mnemonic, units=_ALL, latency=1, imm=(1,), kind="alu"):
+        return InstructionInfo(op, mnemonic, latency, units, tuple(imm), kind)
+
+    table = [
+        # arithmetic
+        alu("add64", "addq"),
+        alu("sub64", "subq"),
+        alu("neg64", "negq", imm=()),
+        alu("s4addq", "s4addq"),
+        alu("s8addq", "s8addq"),
+        alu("s4subq", "s4subq"),
+        alu("s8subq", "s8subq"),
+        alu("addl", "addl"),
+        alu("subl", "subl"),
+        alu("s4addl", "s4addl"),
+        alu("s8addl", "s8addl"),
+        alu("sextl", "sextl", imm=()),
+        alu("mul64", "mulq", units=("U1",), latency=7),
+        alu("mull", "mull", units=("U1",), latency=7),
+        alu("umulh", "umulh", units=("U1",), latency=7),
+        # logic
+        alu("and64", "and"),
+        alu("bis", "bis"),
+        alu("xor64", "xor"),
+        alu("bic", "bic"),
+        alu("ornot", "ornot"),
+        alu("eqv", "eqv"),
+        alu("not64", "not", imm=(0,)),
+        # shifter (upper units only)
+        alu("sll", "sll", units=_UPPER),
+        alu("srl", "srl", units=_UPPER),
+        alu("sra", "sra", units=_UPPER),
+        # byte manipulation (shifter)
+        alu("extbl", "extbl", units=_UPPER),
+        alu("extwl", "extwl", units=_UPPER),
+        alu("extll", "extll", units=_UPPER),
+        alu("extql", "extql", units=_UPPER),
+        alu("insbl", "insbl", units=_UPPER),
+        alu("inswl", "inswl", units=_UPPER),
+        alu("insll", "insll", units=_UPPER),
+        alu("insql", "insql", units=_UPPER),
+        alu("mskbl", "mskbl", units=_UPPER),
+        alu("mskwl", "mskwl", units=_UPPER),
+        alu("mskll", "mskll", units=_UPPER),
+        alu("mskql", "mskql", units=_UPPER),
+        alu("zap", "zap", units=_UPPER),
+        alu("zapnot", "zapnot", units=_UPPER),
+        alu("sextb", "sextb", units=_UPPER, imm=(0,)),
+        alu("sextw", "sextw", units=_UPPER, imm=(0,)),
+        # comparisons
+        alu("cmpeq", "cmpeq"),
+        alu("cmplt", "cmplt"),
+        alu("cmple", "cmple"),
+        alu("cmpult", "cmpult"),
+        alu("cmpule", "cmpule"),
+        # conditional moves (value operand may be a literal)
+        alu("cmoveq", "cmoveq", imm=(1,)),
+        alu("cmovne", "cmovne", imm=(1,)),
+        alu("cmovlt", "cmovlt", imm=(1,)),
+        alu("cmovge", "cmovge", imm=(1,)),
+        alu("cmovle", "cmovle", imm=(1,)),
+        alu("cmovgt", "cmovgt", imm=(1,)),
+        alu("cmovlbs", "cmovlbs", imm=(1,)),
+        alu("cmovlbc", "cmovlbc", imm=(1,)),
+        # constant materialisation (lda/ldah pair; modelled as one pseudo)
+        InstructionInfo("ldiq", "ldiq", 1, _ALL, (), "pseudo"),
+        # memory (lower units)
+        InstructionInfo("select", "ldq", 3, _LOWER, (), "load"),
+        InstructionInfo("store", "stq", 1, _LOWER, (), "store"),
+    ]
+    return {info.op: info for info in table}
+
+
+def ev6(load_latency: int = 3) -> ArchSpec:
+    """The Alpha EV6 architectural description.
+
+    ``load_latency`` is the assumed D-cache latency; the Denali source
+    language lets the programmer annotate expected-miss loads, which the
+    pipeline models by raising this per-problem (section 6's discussion of
+    profile-derived latency annotations).
+    """
+    instructions = _ev6_instructions()
+    if load_latency != 3:
+        old = instructions["select"]
+        instructions["select"] = InstructionInfo(
+            old.op, old.mnemonic, load_latency, old.units, old.imm_args, old.kind
+        )
+    return ArchSpec(
+        name="alpha-ev6",
+        units=_ALL,
+        clusters={"U0": 0, "L0": 0, "U1": 1, "L1": 1},
+        cross_cluster_delay=1,
+        issue_width=4,
+        instructions=instructions,
+    )
+
+
+def simple_risc() -> ArchSpec:
+    """A single-issue, single-cluster machine.
+
+    This is the machine of the paper's section 6 exposition ("we assume a
+    machine without multiple issue"), used by tests to check the encoder
+    against hand-computable schedules.
+    """
+    base = _ev6_instructions()
+    instructions = {
+        op: InstructionInfo(
+            info.op, info.mnemonic, info.latency, ("P0",), info.imm_args, info.kind
+        )
+        for op, info in base.items()
+    }
+    return ArchSpec(
+        name="simple-risc",
+        units=("P0",),
+        clusters={"P0": 0},
+        cross_cluster_delay=0,
+        issue_width=1,
+        instructions=instructions,
+    )
+
+
+def itanium_like() -> ArchSpec:
+    """A simplified IA-64-flavoured target — the paper's porting claim.
+
+    "We are currently making the changes necessary to target the Intel
+    Itanium architecture.  It appears that this shift will not require any
+    radical changes (and the changes will mostly be to the axioms)"
+    (section 1.1).  This spec demonstrates exactly that: the same operator
+    vocabulary and axiom files retarget by swapping the architectural
+    tables.  Differences from the EV6 model:
+
+    * two memory units (M0, M1) and two integer units (I0, I1), one flat
+      cluster (no cross-cluster delay);
+    * no byte-manipulation instructions (``extbl``/``insbl``/``mskbl``/
+      ``zap`` are not machine operations) — byte goals must compile to
+      shift-and-mask sequences, which the axioms already provide;
+    * ``shladd``-style scaled adds (mapped from ``s4addq``/``s8addq``);
+    * loads hit in 2 cycles; integer multiply is slow (it runs on the FP
+      unit on real IA-64) at latency 15.
+    """
+    m_units = ("M0", "M1")
+    i_units = ("I0", "I1")
+    all_units = m_units + i_units
+
+    def alu(op, mnemonic, units=all_units, latency=1, imm=(1,), kind="alu"):
+        return InstructionInfo(op, mnemonic, latency, units, tuple(imm), kind)
+
+    table = [
+        alu("add64", "add"),
+        alu("sub64", "sub"),
+        alu("neg64", "neg", imm=()),
+        alu("s4addq", "shladd4", units=i_units),
+        alu("s8addq", "shladd8", units=i_units),
+        alu("addl", "add4", units=i_units),
+        alu("subl", "sub4", units=i_units),
+        alu("sextl", "sxt4", units=i_units, imm=()),
+        alu("sextb", "sxt1", units=i_units, imm=()),
+        alu("sextw", "sxt2", units=i_units, imm=()),
+        alu("mul64", "xma.l", units=("I0",), latency=15),
+        alu("umulh", "xma.hu", units=("I0",), latency=15),
+        alu("and64", "and"),
+        alu("bis", "or"),
+        alu("xor64", "xor"),
+        alu("bic", "andcm"),
+        alu("not64", "not", imm=(0,)),
+        alu("sll", "shl", units=i_units),
+        alu("srl", "shr.u", units=i_units),
+        alu("sra", "shr", units=i_units),
+        alu("cmpeq", "cmp.eq"),
+        alu("cmplt", "cmp.lt"),
+        alu("cmple", "cmp.le"),
+        alu("cmpult", "cmp.ltu"),
+        alu("cmpule", "cmp.leu"),
+        alu("cmoveq", "mov.eq", imm=(1,)),
+        alu("cmovne", "mov.ne", imm=(1,)),
+        InstructionInfo("ldiq", "movl", 1, all_units, (), "pseudo"),
+        InstructionInfo("select", "ld8", 2, m_units, (), "load"),
+        InstructionInfo("store", "st8", 1, m_units, (), "store"),
+    ]
+    return ArchSpec(
+        name="itanium-like",
+        units=all_units,
+        clusters={u: 0 for u in all_units},
+        cross_cluster_delay=0,
+        issue_width=4,
+        instructions={info.op: info for info in table},
+    )
+
+
+def toy_tuple_machine() -> ArchSpec:
+    """A two-issue toy with a multi-result instruction (paper section 7).
+
+    ``tuple2`` computes two results at once; the non-machine projections
+    ``proj0``/``proj1`` extract them.  Used by tests of the multi-result
+    modelling. The projections are modelled as zero-latency machine
+    pseudo-ops so the encoder can consume tuple components.
+    """
+    base = _ev6_instructions()
+    instructions = {
+        op: InstructionInfo(
+            info.op, info.mnemonic, info.latency, ("P0", "P1"), info.imm_args,
+            info.kind,
+        )
+        for op, info in base.items()
+    }
+    instructions["tuple2"] = InstructionInfo(
+        "tuple2", "pair", 2, ("P0", "P1"), (), "alu"
+    )
+    instructions["proj0"] = InstructionInfo(
+        "proj0", "lo", 1, ("P0", "P1"), (), "pseudo"
+    )
+    instructions["proj1"] = InstructionInfo(
+        "proj1", "hi", 1, ("P0", "P1"), (), "pseudo"
+    )
+    return ArchSpec(
+        name="toy-tuple",
+        units=("P0", "P1"),
+        clusters={"P0": 0, "P1": 0},
+        cross_cluster_delay=0,
+        issue_width=2,
+        instructions=instructions,
+    )

@@ -1,0 +1,66 @@
+"""Alpha integer register conventions and a simple allocator.
+
+The paper's prototype "ignores register allocation"; like it, we assign a
+fresh register to every computed value, following the Alpha calling
+convention for inputs ($16-$21 are argument registers, $0 the return value,
+$31 reads as zero) and drawing temporaries from the caller-saved pool.
+The extractor prints the resulting "Register Map" comment of Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+ARG_REGISTERS = ["$16", "$17", "$18", "$19", "$20", "$21"]
+# Inputs beyond the six argument registers spill into callee-saved
+# registers (a loop GMA may have many live-in values, e.g. the unrolled
+# checksum's sums and pipelined temporaries).
+EXTRA_INPUT_REGISTERS = ["$9", "$10", "$11", "$12", "$13", "$14", "$15"]
+INPUT_REGISTERS = ARG_REGISTERS + EXTRA_INPUT_REGISTERS
+RETURN_REGISTER = "$0"
+ZERO_REGISTER = "$31"
+# Caller-saved temporaries in allocation order ($0 excluded until the end).
+TEMP_REGISTERS = [
+    "$1", "$2", "$3", "$4", "$5", "$6", "$7", "$8",
+    "$22", "$23", "$24", "$25", "$27", "$28",
+]
+
+
+class RegisterFile:
+    """Assigns registers to named inputs and fresh temporaries to values."""
+
+    def __init__(self) -> None:
+        self._inputs: Dict[str, str] = {}
+        self._next_arg = 0
+        self._next_temp = 0
+
+    def bind_input(self, name: str, register: Optional[str] = None) -> str:
+        """Bind input ``name`` to ``register`` or the next argument register."""
+        if name in self._inputs:
+            return self._inputs[name]
+        if register is None:
+            if self._next_arg >= len(INPUT_REGISTERS):
+                raise ValueError("too many register arguments")
+            register = INPUT_REGISTERS[self._next_arg]
+            self._next_arg += 1
+        self._inputs[name] = register
+        return register
+
+    def input_register(self, name: str) -> str:
+        try:
+            return self._inputs[name]
+        except KeyError:
+            raise KeyError("input %r has no register binding" % name)
+
+    def fresh_temp(self) -> str:
+        if self._next_temp >= len(TEMP_REGISTERS):
+            raise ValueError("out of temporary registers")
+        reg = TEMP_REGISTERS[self._next_temp]
+        self._next_temp += 1
+        return reg
+
+    def register_map(self) -> Dict[str, str]:
+        """The Figure 4-style map of names to registers."""
+        out = dict(self._inputs)
+        out["0"] = ZERO_REGISTER
+        return out

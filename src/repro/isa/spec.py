@@ -1,0 +1,94 @@
+"""The architectural description consumed by the constraint generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class InstructionInfo:
+    """One machine operation of the target.
+
+    Attributes:
+        op: the operator name, matching the term/axiom vocabulary.
+        mnemonic: assembly mnemonic emitted by the extractor.
+        latency: cycles from launch to result availability (same cluster).
+        units: functional units that can execute this instruction.
+        imm_args: argument indices that may be encoded as a small literal
+            (Alpha's 8-bit literal field) instead of a register.
+        kind: ``alu`` | ``load`` | ``store`` | ``branch`` | ``pseudo``.
+    """
+
+    op: str
+    mnemonic: str
+    latency: int
+    units: Tuple[str, ...]
+    imm_args: Tuple[int, ...] = ()
+    kind: str = "alu"
+
+
+@dataclass
+class ArchSpec:
+    """Functional units, latencies and issue rules of one target.
+
+    ``clusters`` maps each unit to a cluster id; results produced on one
+    cluster are visible to the other only after ``cross_cluster_delay``
+    extra cycles (the EV6's register-bank delay the paper highlights in
+    Figure 4).  A single-cluster machine uses delay 0 and one cluster id.
+    """
+
+    name: str
+    units: Tuple[str, ...]
+    clusters: Dict[str, int]
+    cross_cluster_delay: int
+    issue_width: int
+    instructions: Dict[str, InstructionInfo]
+    imm_lo: int = 0
+    imm_hi: int = 255
+
+    def __post_init__(self) -> None:
+        for unit in self.units:
+            if unit not in self.clusters:
+                raise ValueError("unit %r has no cluster assignment" % unit)
+        for info in self.instructions.values():
+            for unit in info.units:
+                if unit not in self.units:
+                    raise ValueError(
+                        "instruction %r names unknown unit %r" % (info.op, unit)
+                    )
+        if self.issue_width < 1:
+            raise ValueError("issue width must be positive")
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_machine_op(self, op: str) -> bool:
+        """Can some instruction compute this operator?  (Paper section 6.)"""
+        return op in self.instructions
+
+    def info(self, op: str) -> InstructionInfo:
+        try:
+            return self.instructions[op]
+        except KeyError:
+            raise KeyError("%r is not a machine operation on %s" % (op, self.name))
+
+    def latency(self, op: str) -> int:
+        return self.info(op).latency
+
+    def cluster_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(set(self.clusters.values())))
+
+    def units_in_cluster(self, cluster: int) -> Tuple[str, ...]:
+        return tuple(u for u in self.units if self.clusters[u] == cluster)
+
+    def result_delay(self, producing_unit: str, consuming_cluster: int) -> int:
+        """Extra cycles before ``consuming_cluster`` sees the result."""
+        if self.clusters[producing_unit] == consuming_cluster:
+            return 0
+        return self.cross_cluster_delay
+
+    def fits_immediate(self, value: int) -> bool:
+        return self.imm_lo <= value <= self.imm_hi
+
+    def machine_ops(self) -> Iterable[str]:
+        return self.instructions.keys()

@@ -1,0 +1,44 @@
+"""The Denali input language (paper sections 2-3 and Figure 6).
+
+A program is a sequence of s-expression forms: operator declarations
+(``\\opdecl``), axioms (``\\axiom``) and procedures (``\\procdecl``).
+Procedure bodies use a low-level machine model with assignments, ``\\var``
+bindings, guarded loops (``\\do``), pointer dereferences (``\\deref``) and
+unrolling annotations.  Translation flattens each procedure into guarded
+multi-assignments (GMAs), turning pointer accesses into ``select``/``store``
+applications on the memory value ``M``.
+"""
+
+from repro.lang.gma import GMA
+from repro.lang.ast import (
+    Assign,
+    DoLoop,
+    Expr,
+    LangError,
+    Procedure,
+    Program,
+    Semi,
+    VarDecl,
+)
+from repro.lang.parser import parse_program
+from repro.lang.pipelining import PipelinedLoop, run_loop, software_pipeline
+from repro.lang.translate import TranslationError, translate_procedure, unroll_loop
+
+__all__ = [
+    "GMA",
+    "Assign",
+    "DoLoop",
+    "Expr",
+    "LangError",
+    "Procedure",
+    "Program",
+    "Semi",
+    "VarDecl",
+    "parse_program",
+    "PipelinedLoop",
+    "run_loop",
+    "software_pipeline",
+    "TranslationError",
+    "translate_procedure",
+    "unroll_loop",
+]

@@ -1,0 +1,91 @@
+"""AST for the Denali input language.
+
+The surface syntax is the parenthesised form of the paper's Figure 6.
+Expressions are kept as s-expression trees (they are converted to terms
+during translation, where the symbolic state is known); statements get
+proper node classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.axioms.axiom import Axiom
+from repro.terms.ops import OperatorRegistry
+
+# Expressions stay as raw s-expressions until translation.
+Expr = Union[str, int, list]
+
+
+class LangError(Exception):
+    """Raised on malformed programs."""
+
+
+@dataclass
+class Assign:
+    """Simultaneous multi-assignment ``(:= (target expr) ...)``.
+
+    A target is a variable name, ``\\res``, a ``(\\deref addr)`` memory
+    store, or a ``(\\setbyte var index)`` byte update.
+    """
+
+    pairs: List[Tuple[Expr, Expr]]
+
+
+@dataclass
+class Semi:
+    """Statement sequence ``(\\semi s1 s2 ...)``."""
+
+    statements: List["Statement"]
+
+
+@dataclass
+class VarDecl:
+    """``(\\var (name sort [init]) body)``."""
+
+    name: str
+    sort: str
+    init: Optional[Expr]
+    body: "Statement"
+
+
+@dataclass
+class DoLoop:
+    """``(\\do (-> guard body))`` — a guarded loop.
+
+    ``unroll`` is the unrolling factor requested via ``(\\unroll n ...)``
+    (section 2's "certain loops are to be unrolled").
+    """
+
+    guard: Expr
+    body: "Statement"
+    unroll: int = 1
+
+
+Statement = Union[Assign, Semi, VarDecl, DoLoop]
+
+
+@dataclass
+class Procedure:
+    """``(\\procdecl name ((param sort) ...) result-sort body)``."""
+
+    name: str
+    params: List[Tuple[str, str]]  # (name, sort string)
+    result_sort: str
+    body: Statement
+
+
+@dataclass
+class Program:
+    """A parsed source file: declarations, axioms and procedures."""
+
+    procedures: List[Procedure] = field(default_factory=list)
+    axioms: List[Axiom] = field(default_factory=list)
+    registry: OperatorRegistry = None  # type: ignore[assignment]
+
+    def procedure(self, name: str) -> Procedure:
+        for proc in self.procedures:
+            if proc.name == name:
+                return proc
+        raise KeyError("no procedure named %r" % name)

@@ -1,0 +1,91 @@
+"""Guarded multi-assignments — the input to the crucial inner subroutine.
+
+A GMA (paper section 3) is ``G -> (targets) := (newvals)`` with an exit
+label: if the guard ``G`` holds, all targets are updated simultaneously
+with the values of the right-hand sides (evaluated in the *old* state);
+otherwise control leaves to the label.
+
+After translation every target is either a register name or the memory
+``M`` (pointer stores having been rewritten to ``M := store(M, p, e)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.terms.evaluator import Evaluator
+from repro.terms.ops import OperatorRegistry, Sort
+from repro.terms.term import Term
+
+
+@dataclass(frozen=True)
+class GMA:
+    """One guarded multi-assignment.
+
+    Attributes:
+        targets: register names (or ``"M"`` for the memory), pairwise
+            distinct.
+        newvals: the assigned expressions, one per target; ``newvals[i]``
+            must have the memory sort iff ``targets[i]`` is the memory.
+        guard: optional guard term (None means always-taken).
+        exit_label: where control goes when the guard is false.
+    """
+
+    targets: Tuple[str, ...]
+    newvals: Tuple[Term, ...]
+    guard: Optional[Term] = None
+    exit_label: str = "exit"
+    # Loads annotated as likely cache misses (the paper's profile-derived
+    # memory-latency annotations, section 6).  Affects performance
+    # modelling only, never correctness.
+    slow_loads: Tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.targets) != len(self.newvals):
+            raise ValueError(
+                "GMA has %d targets but %d values"
+                % (len(self.targets), len(self.newvals))
+            )
+        if len(set(self.targets)) != len(self.targets):
+            raise ValueError("GMA targets must be distinct")
+        if not self.targets:
+            raise ValueError("GMA must have at least one target")
+
+    def goal_terms(self) -> Tuple[Term, ...]:
+        """The expressions the machine code must evaluate (section 5).
+
+        The guard, if present, is part of the goals: the code must test it.
+        """
+        goals = list(self.newvals)
+        if self.guard is not None:
+            goals.append(self.guard)
+        return tuple(goals)
+
+    def pretty(self) -> str:
+        lhs = "(%s)" % ", ".join(self.targets)
+        rhs = "(%s)" % ", ".join(v.pretty() for v in self.newvals)
+        if self.guard is None:
+            return "%s := %s" % (lhs, rhs)
+        return "%s -> %s := %s" % (self.guard.pretty(), lhs, rhs)
+
+    def apply(
+        self,
+        env: Dict[str, object],
+        registry: Optional[OperatorRegistry] = None,
+        definitions: Optional[Dict] = None,
+    ) -> Dict[str, object]:
+        """Reference semantics: the state after one (taken) execution.
+
+        All right-hand sides are evaluated in ``env`` before any target is
+        updated (simultaneous assignment).  The guard is not consulted;
+        callers decide whether the GMA fires.  ``definitions`` gives
+        executable meaning to program-declared operators (see
+        :meth:`repro.axioms.axiom.AxiomSet.definitions`).
+        """
+        ev = Evaluator(dict(env), registry, definitions)
+        values = [ev.eval(v) for v in self.newvals]
+        out = dict(env)
+        for target, value in zip(self.targets, values):
+            out[target] = value
+        return out

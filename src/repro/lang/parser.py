@@ -1,0 +1,165 @@
+"""Parser for Denali source files (the Figure 6 syntax).
+
+A source file is a sequence of top-level forms::
+
+    (\\opdecl carry (long long) long)
+    (\\axiom (forall (a b) (pats (carry a b)) (eq ...)))
+    (\\procdecl checksum ((ptr (\\ref long)) (ptrend (\\ref long))) short
+        body)
+
+Statement forms inside procedure bodies: ``\\var``, ``\\semi``, ``:=``,
+``\\do`` (with ``->`` guard arms) and ``\\unroll``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.axioms.parser import AxiomParseError, parse_axiom
+from repro.axioms.sexpr import SExpr, parse_sexprs, render_sexpr
+from repro.lang.ast import (
+    Assign,
+    DoLoop,
+    LangError,
+    Procedure,
+    Program,
+    Semi,
+    Statement,
+    VarDecl,
+)
+from repro.terms.ops import OperatorRegistry, Sort, default_registry
+
+_SORT_NAMES = {"long", "int", "short", "byte", "word"}
+
+
+def _parse_sort(sexpr: SExpr) -> str:
+    """Sorts: scalar names, or ``(\\ref sort)`` pointers (also 64-bit)."""
+    if isinstance(sexpr, str) and sexpr in _SORT_NAMES:
+        return sexpr
+    if (
+        isinstance(sexpr, list)
+        and len(sexpr) == 2
+        and sexpr[0] in ("\\ref", "ref")
+    ):
+        inner = _parse_sort(sexpr[1])
+        return "ref %s" % inner
+    raise LangError("unknown sort %s" % render_sexpr(sexpr))
+
+
+def _parse_statement(sexpr: SExpr) -> Statement:
+    if not isinstance(sexpr, list) or not sexpr:
+        raise LangError("statement expected, got %s" % render_sexpr(sexpr))
+    head = sexpr[0]
+    if head in ("\\semi", "semi"):
+        return Semi([_parse_statement(s) for s in sexpr[1:]])
+    if head in ("\\var", "var"):
+        if len(sexpr) != 3 or not isinstance(sexpr[1], list):
+            raise LangError("\\var needs (name sort [init]) and a body")
+        decl = sexpr[1]
+        if len(decl) == 2:
+            name, sort, init = decl[0], decl[1], None
+        elif len(decl) == 3:
+            name, sort, init = decl
+        else:
+            raise LangError("malformed \\var declaration %s" % render_sexpr(decl))
+        if not isinstance(name, str):
+            raise LangError("variable name must be a symbol")
+        return VarDecl(name, _parse_sort(sort), init, _parse_statement(sexpr[2]))
+    if head == ":=":
+        pairs: List[Tuple] = []
+        for binding in sexpr[1:]:
+            if not isinstance(binding, list) or len(binding) != 2:
+                raise LangError(
+                    "assignment binding must be (target expr), got %s"
+                    % render_sexpr(binding)
+                )
+            pairs.append((binding[0], binding[1]))
+        if not pairs:
+            raise LangError("empty assignment")
+        return Assign(pairs)
+    if head in ("\\do", "do"):
+        if len(sexpr) != 2:
+            raise LangError("\\do takes exactly one guarded arm")
+        arm = sexpr[1]
+        if not isinstance(arm, list) or len(arm) != 3 or arm[0] != "->":
+            raise LangError("\\do arm must be (-> guard body)")
+        return DoLoop(arm[1], _parse_statement(arm[2]))
+    if head in ("\\unroll", "unroll"):
+        if len(sexpr) != 3 or not isinstance(sexpr[1], int) or sexpr[1] < 1:
+            raise LangError("\\unroll takes a positive count and a loop")
+        loop = _parse_statement(sexpr[2])
+        if not isinstance(loop, DoLoop):
+            raise LangError("\\unroll must wrap a \\do loop")
+        loop.unroll = sexpr[1]
+        return loop
+    raise LangError("unknown statement form %s" % render_sexpr(sexpr))
+
+
+def _parse_procedure(form: SExpr) -> Procedure:
+    if len(form) != 5:
+        raise LangError(
+            "\\procdecl needs name, params, result sort and body: %s"
+            % render_sexpr(form)
+        )
+    _, name, params_sexpr, result_sort, body = form
+    if not isinstance(name, str):
+        raise LangError("procedure name must be a symbol")
+    if not isinstance(params_sexpr, list):
+        raise LangError("parameter list expected")
+    params: List[Tuple[str, str]] = []
+    for p in params_sexpr:
+        if not isinstance(p, list) or len(p) != 2 or not isinstance(p[0], str):
+            raise LangError("parameter must be (name sort): %s" % render_sexpr(p))
+        params.append((p[0], _parse_sort(p[1])))
+    return Procedure(name, params, _parse_sort(result_sort), _parse_statement(body))
+
+
+_SORT_TO_TERM = {
+    "long": Sort.INT,
+    "int": Sort.INT,
+    "short": Sort.INT,
+    "byte": Sort.INT,
+    "word": Sort.INT,
+}
+
+
+def _opdecl(form: SExpr, registry: OperatorRegistry) -> None:
+    if len(form) != 4 or not isinstance(form[1], str) or not isinstance(form[2], list):
+        raise LangError("\\opdecl needs name, argument sorts, result sort")
+    _, name, arg_sorts, result = form
+    params = []
+    for s in arg_sorts:
+        sort = _parse_sort(s)
+        params.append(Sort.INT if not sort.startswith("ref") else Sort.INT)
+    result_sort = _parse_sort(result)
+    registry.declare(
+        name,
+        tuple(params),
+        Sort.INT if not result_sort.startswith("ref") else Sort.INT,
+    )
+
+
+def parse_program(
+    text: str, registry: Optional[OperatorRegistry] = None
+) -> Program:
+    """Parse a full Denali source file."""
+    registry = (registry if registry is not None else default_registry()).copy()
+    program = Program(registry=registry)
+    for form in parse_sexprs(text):
+        if not isinstance(form, list) or not form or not isinstance(form[0], str):
+            raise LangError("top-level form expected, got %s" % render_sexpr(form))
+        head = form[0]
+        if head in ("\\opdecl", "opdecl"):
+            _opdecl(form, registry)
+        elif head in ("\\axiom", "axiom"):
+            if len(form) != 2:
+                raise LangError("\\axiom takes one body form")
+            try:
+                program.axioms.append(parse_axiom(form[1], registry))
+            except AxiomParseError as exc:
+                raise LangError("bad axiom: %s" % exc) from exc
+        elif head in ("\\procdecl", "procdecl"):
+            program.procedures.append(_parse_procedure(form))
+        else:
+            raise LangError("unknown top-level form %r" % head)
+    return program

@@ -1,0 +1,186 @@
+"""Automatic software pipelining of loop GMAs.
+
+The paper lists software pipelining — "the computation in one loop
+iteration of a result that is used on the next iteration" — as one of the
+three techniques its checksum example needs, and says "We have a design
+for software pipelining, but haven't implemented it yet.  In the meantime
+... we hand-specified the required pipelining by introducing temporaries
+to carry intermediate values across loop iterations" (section 8).
+
+This module implements the transformation those temporaries perform, as
+the paper's future work: every load in a loop body whose value feeds the
+iteration's computation is hoisted into a loop-carried temporary.  The
+temporary is initialised before the loop (the prologue); inside the loop
+each temporary is consumed where the load used to be and *refilled* with
+the next iteration's load — moving the load latency off the critical path.
+
+Like the paper's hand-pipelined Figure 6, the transformed loop reads one
+iteration ahead: the final trip's load may touch one element past the data
+(harmless for the paper's workloads; the transformation reports this so
+callers can pad buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.gma import GMA
+from repro.terms.ops import OperatorRegistry, Sort, default_registry
+from repro.terms.term import Term, inp, mk, subterms
+
+
+@dataclass
+class PipelinedLoop:
+    """Result of pipelining one loop GMA.
+
+    Attributes:
+        gma: the transformed loop body (original targets plus the
+            loop-carried temporaries).
+        prologue: ``(temp name, init term)`` pairs to execute once before
+            entering the loop, in order.
+        temps: the introduced temporary names.
+        reads_ahead: True when the transformed body loads data the
+            original body would only have loaded on the next iteration.
+    """
+
+    gma: GMA
+    prologue: List[Tuple[str, Term]] = field(default_factory=list)
+    temps: List[str] = field(default_factory=list)
+    reads_ahead: bool = True
+
+
+def _substitute(term: Term, mapping: Dict[Term, Term],
+                registry: OperatorRegistry,
+                memo: Optional[Dict[Term, Term]] = None) -> Term:
+    """Replace occurrences of mapping keys (whole subterms) in ``term``."""
+    memo = memo if memo is not None else {}
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
+    if term in mapping:
+        out = mapping[term]
+    elif not term.args:
+        out = term
+    else:
+        args = tuple(_substitute(a, mapping, registry, memo) for a in term.args)
+        out = term if args == term.args else mk(term.op, *args, registry=registry)
+    memo[term] = out
+    return out
+
+
+def _advance_one_iteration(term: Term, gma: GMA,
+                           registry: OperatorRegistry) -> Term:
+    """``term`` re-expressed at the *next* loop iteration's entry state."""
+    mapping: Dict[Term, Term] = {}
+    for target, newval in zip(gma.targets, gma.newvals):
+        sort = Sort.MEM if target == "M" else Sort.INT
+        mapping[inp(target, sort)] = newval
+    return _substitute(term, mapping, registry)
+
+
+def software_pipeline(
+    gma: GMA,
+    registry: Optional[OperatorRegistry] = None,
+    temp_prefix: str = "pipe",
+) -> PipelinedLoop:
+    """Hoist the loop's loads into loop-carried temporaries.
+
+    Only loads from the loop-head memory (``select`` applied to the plain
+    memory input) are pipelined; loads of memory versions created *within*
+    the iteration (after a store) keep their position, since reordering
+    them across the backedge would need the alias reasoning of the
+    select/store clause axiom, which stays the matcher's job.
+    """
+    registry = registry if registry is not None else default_registry()
+    memory_input = inp("M", Sort.MEM)
+
+    # Collect the pipelinable loads, deterministically ordered.
+    loads: List[Term] = []
+    seen = set()
+    for goal in gma.goal_terms():
+        for sub in subterms(goal):
+            if (
+                sub.op == "select"
+                and sub.args[0] is memory_input
+                and sub not in seen
+            ):
+                seen.add(sub)
+                loads.append(sub)
+    loads.sort(key=lambda t: t.pretty())
+
+    if not loads:
+        return PipelinedLoop(gma=gma, reads_ahead=False)
+
+    mapping: Dict[Term, Term] = {}
+    prologue: List[Tuple[str, Term]] = []
+    temps: List[str] = []
+    new_targets = list(gma.targets)
+    new_vals: List[Term] = []
+    for index, load in enumerate(loads):
+        name = "%s%d" % (temp_prefix, index)
+        temps.append(name)
+        mapping[load] = inp(name)
+        prologue.append((name, load))
+
+    # Rewrite the original right-hand sides to consume the temporaries.
+    memo: Dict[Term, Term] = {}
+    for newval in gma.newvals:
+        new_vals.append(_substitute(newval, mapping, registry, memo))
+    guard = (
+        _substitute(gma.guard, mapping, registry, memo)
+        if gma.guard is not None
+        else None
+    )
+
+    # Each temporary is refilled with the next iteration's load.  The
+    # advanced address may itself mention this iteration's loads; those
+    # come from the temporaries too.
+    advanced_form: Dict[Term, Term] = {}
+    for name, load in zip(temps, loads):
+        advanced = _advance_one_iteration(load, gma, registry)
+        advanced = _substitute(advanced, mapping, registry, memo)
+        advanced_form[load] = advanced
+        new_targets.append(name)
+        new_vals.append(advanced)
+
+    # Cache-miss annotations follow their loads to the advanced positions.
+    slow = tuple(
+        advanced_form.get(t, t)
+        for t in gma.slow_loads
+    )
+
+    return PipelinedLoop(
+        gma=GMA(
+            tuple(new_targets),
+            tuple(new_vals),
+            guard=guard,
+            exit_label=gma.exit_label,
+            slow_loads=slow,
+        ),
+        prologue=prologue,
+        temps=temps,
+        reads_ahead=True,
+    )
+
+
+def run_loop(
+    gma: GMA,
+    env: Dict[str, object],
+    registry: Optional[OperatorRegistry] = None,
+    definitions: Optional[Dict] = None,
+    max_iterations: int = 10_000,
+) -> Dict[str, object]:
+    """Reference interpreter for a guarded loop GMA: iterate until the
+    guard fails.  Used by tests to compare original and pipelined loops."""
+    from repro.terms.evaluator import Evaluator
+
+    registry = registry if registry is not None else default_registry()
+    state = dict(env)
+    for _ in range(max_iterations):
+        if gma.guard is not None:
+            taken = Evaluator(state, registry, definitions).eval(gma.guard)
+            if not taken:
+                return state
+        state = gma.apply(state, registry, definitions)
+    raise RuntimeError("loop did not terminate within %d iterations" % max_iterations)

@@ -1,0 +1,26 @@
+"""The matcher: axiom instantiation over the E-graph (paper section 5).
+
+The matcher repeatedly finds instances of axiom trigger patterns modulo the
+E-graph's equivalence relation, asserts the instantiated facts (equalities,
+distinctions, clauses), and iterates until quiescence or until its budgets
+run out — the paper's "heuristics that are designed to keep the matcher
+from running forever".
+"""
+
+from repro.matching.matcher import ematch, ematch_all, instantiate
+from repro.matching.saturation import (
+    SaturationConfig,
+    SaturationEngine,
+    SaturationStats,
+    saturate,
+)
+
+__all__ = [
+    "ematch",
+    "ematch_all",
+    "instantiate",
+    "SaturationConfig",
+    "SaturationEngine",
+    "SaturationStats",
+    "saturate",
+]

@@ -1,0 +1,125 @@
+"""E-matching: pattern matching modulo the E-graph's equivalence relation.
+
+A pattern variable binds to an *equivalence class*, not to a term.  This is
+what lets the paper's Figure 2 walkthrough match ``k * 2**n`` against
+``reg6 * 4`` once the fact ``4 = 2**2`` has been recorded: an ordinary
+matcher sees the node ``4``, but the E-matcher searches the whole
+equivalence class and finds ``2**2`` there.
+
+Substitutions map variable names to class ids.  :func:`instantiate` builds
+the instance of a pattern directly as enodes (no intermediate terms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.axioms.axiom import Pattern
+from repro.egraph.egraph import EGraph, ENode
+from repro.terms.ops import OperatorRegistry, Sort
+
+Subst = Dict[str, int]
+
+
+def ematch(
+    eg: EGraph,
+    pattern: Pattern,
+    cid: int,
+    subst: Optional[Subst] = None,
+) -> Iterator[Subst]:
+    """All substitutions under which ``pattern`` matches class ``cid``.
+
+    Substitutions extend ``subst`` (which is not mutated).  The number of
+    matches can be exponential in the pattern size; callers should bound
+    consumption.
+    """
+    subst = subst if subst is not None else {}
+    yield from _match_class(eg, pattern, eg.find(cid), subst)
+
+
+def _match_class(
+    eg: EGraph, pattern: Pattern, root: int, subst: Subst
+) -> Iterator[Subst]:
+    if pattern.is_var:
+        bound = subst.get(pattern.var)
+        if bound is not None:
+            if eg.find(bound) == root:
+                yield subst
+            return
+        new = dict(subst)
+        new[pattern.var] = root
+        yield new
+        return
+    if pattern.is_const:
+        if eg.const_of(root) == pattern.value:
+            yield subst
+        return
+    for node in eg.enodes(root):
+        if node.op == pattern.op and len(node.args) == len(pattern.args):
+            yield from _match_args(eg, pattern.args, node.args, 0, subst)
+
+
+def _match_args(
+    eg: EGraph,
+    patterns,
+    arg_classes,
+    index: int,
+    subst: Subst,
+) -> Iterator[Subst]:
+    if index == len(patterns):
+        yield subst
+        return
+    for s in _match_class(
+        eg, patterns[index], eg.find(arg_classes[index]), subst
+    ):
+        yield from _match_args(eg, patterns, arg_classes, index + 1, s)
+
+
+def ematch_all(
+    eg: EGraph, pattern: Pattern, limit: Optional[int] = None
+) -> List[Subst]:
+    """Match ``pattern`` against every enode with the pattern's head operator.
+
+    This is the top-level trigger search: rather than trying every class,
+    only classes containing an application of the pattern's head operator
+    can match, and the E-graph indexes those directly.
+    """
+    results: List[Subst] = []
+    if pattern.is_var or pattern.is_const:
+        raise ValueError("trigger patterns must be operator applications")
+    for node, _root in eg.nodes_with_op(pattern.op):
+        if len(node.args) != len(pattern.args):
+            continue
+        for subst in _match_args(eg, pattern.args, node.args, 0, {}):
+            results.append(subst)
+            if limit is not None and len(results) >= limit:
+                return results
+    return results
+
+
+def instantiate(
+    eg: EGraph,
+    pattern: Pattern,
+    subst: Subst,
+    registry: OperatorRegistry,
+) -> Optional[int]:
+    """Add the instance of ``pattern`` under ``subst`` to the E-graph.
+
+    Returns the class id of the instance, or ``None`` if the instance is
+    ill-sorted (a variable bound to a class of the wrong sort), in which
+    case nothing is added.
+    """
+    if pattern.is_var:
+        return eg.find(subst[pattern.var])
+    if pattern.is_const:
+        return eg.add_enode("const", (), value=pattern.value, sort=Sort.INT)
+    sig = registry.get(pattern.op)
+    args = []
+    for sub_pat, want in zip(pattern.args, sig.params):
+        cid = instantiate(eg, sub_pat, subst, registry)
+        if cid is None:
+            return None
+        if eg.class_sort(cid) != want:
+            return None
+        args.append(cid)
+    return eg.add_enode(pattern.op, tuple(args), sort=sig.result)

@@ -1,0 +1,388 @@
+"""The saturation engine: run the matcher to (bounded) quiescence.
+
+Each round performs, in order:
+
+1. **constant folding** — any application whose arguments are all constant
+   classes and whose operator has reference semantics is merged with its
+   value's constant class;
+2. **constant synthesis** — for each power-of-two constant ``c`` the fact
+   ``c = 2**log2(c)`` is recorded (the paper's Figure 2(b) step), enabling
+   the shift axioms to fire;
+3. **axiom instantiation** — every trigger of every axiom is E-matched and
+   the instances asserted (equalities merge, distinctions mark classes
+   uncombinable, clauses are recorded);
+4. **clause propagation** — untenable literals are deleted from recorded
+   clauses; a clause reduced to one literal asserts it (section 5's
+   select/store example).
+
+The engine stops when a round changes nothing (true quiescence) or when a
+budget is exhausted, in which case the result is marked non-quiescent —
+one of the two reasons the paper calls Denali's output "near-optimal"
+rather than "optimal".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.axioms.axiom import (
+    Axiom,
+    AxiomClause,
+    AxiomDistinction,
+    AxiomEquality,
+    AxiomSet,
+)
+from repro.egraph.egraph import EGraph, InconsistentError
+from repro.matching.matcher import Subst, ematch_all, instantiate
+from repro.terms.ops import OperatorRegistry, Sort, default_registry
+from repro.terms.values import Memory
+
+
+@dataclass
+class SaturationConfig:
+    """Budgets and feature switches for one saturation run."""
+
+    max_rounds: int = 10
+    max_enodes: int = 4000
+    max_matches_per_trigger: int = 2000
+    fold_constants: bool = True
+    synthesize_constants: bool = True
+    synthesize_byte_masks: bool = True
+    # Also give mskbl/zapnot nodes an explicit and64(w, mask) alternative.
+    # Needed by targets without byte-manipulation hardware (Itanium-like);
+    # on the Alpha it only floods the graph with worse computations, so it
+    # is off unless the pipeline detects such a target.
+    synthesize_mask_alternatives: bool = False
+    max_pow2_exponent: int = 63
+
+
+@dataclass
+class SaturationStats:
+    """What one saturation run did."""
+
+    rounds: int = 0
+    instances_asserted: int = 0
+    clauses_recorded: int = 0
+    clause_assertions: int = 0
+    constants_folded: int = 0
+    constants_synthesized: int = 0
+    quiescent: bool = False
+    enodes: int = 0
+    classes: int = 0
+
+
+_M64 = (1 << 64) - 1
+
+
+def V_zapnot_mask(pattern: int) -> int:
+    """The 64-bit AND mask equivalent to ``zapnot``'s byte pattern."""
+    out = 0
+    for j in range(8):
+        if (pattern >> j) & 1:
+            out |= 0xFF << (8 * j)
+    return out
+
+
+def _byte_regular_pattern(value: int) -> Optional[int]:
+    """The zapnot byte pattern for ``value``, or None if not byte-regular."""
+    pattern = 0
+    for j in range(8):
+        byte = (value >> (8 * j)) & 0xFF
+        if byte == 0xFF:
+            pattern |= 1 << j
+        elif byte != 0x00:
+            return None
+    return pattern
+
+
+@dataclass
+class _ActiveClause:
+    """A recorded ground clause: literals over class ids."""
+
+    literals: List[Tuple[str, int, int]]  # (kind, lhs class, rhs class)
+
+
+class SaturationEngine:
+    """Drives matching over one E-graph.
+
+    The engine is reusable across rounds but bound to one graph; the
+    pipeline creates one engine per GMA.
+    """
+
+    def __init__(
+        self,
+        eg: EGraph,
+        axioms: AxiomSet,
+        registry: Optional[OperatorRegistry] = None,
+        config: Optional[SaturationConfig] = None,
+    ) -> None:
+        self.eg = eg
+        self.axioms = axioms
+        self.registry = registry if registry is not None else default_registry()
+        self.config = config if config is not None else SaturationConfig()
+        self.stats = SaturationStats()
+        self._seen_instances: Set[Tuple] = set()
+        self._clauses: List[_ActiveClause] = []
+        self._seen_clauses: Set[Tuple] = set()
+
+    # -- public ---------------------------------------------------------------
+
+    def run(self) -> SaturationStats:
+        """Saturate until quiescence or budget exhaustion."""
+        cfg = self.config
+        for round_index in range(cfg.max_rounds):
+            self.stats.rounds = round_index + 1
+            before = self.eg.version
+            if cfg.fold_constants:
+                self._fold_constants()
+            if cfg.synthesize_constants:
+                self._synthesize_constants()
+            if cfg.synthesize_byte_masks:
+                self._synthesize_byte_masks()
+            budget_hit = self._instantiate_axioms()
+            self._propagate_clauses()
+            if self.eg.version == before and not budget_hit:
+                self.stats.quiescent = True
+                break
+            if self.eg.num_enodes() >= cfg.max_enodes:
+                break
+        self.stats.enodes = self.eg.num_enodes()
+        self.stats.classes = self.eg.num_classes()
+        return self.stats
+
+    # -- constant reasoning -----------------------------------------------------
+
+    def _fold_constants(self) -> None:
+        eg = self.eg
+        for node, root in list(eg.all_nodes()):
+            if node.op in ("const", "input"):
+                continue
+            if eg.const_of(root) is not None:
+                continue  # already known constant
+            sig = self.registry.get(node.op) if node.op in self.registry else None
+            if sig is None or sig.eval_fn is None or sig.result != Sort.INT:
+                continue
+            values = []
+            ok = True
+            for arg in node.args:
+                v = eg.const_of(arg)
+                if v is None or eg.class_sort(arg) != Sort.INT:
+                    ok = False
+                    break
+                values.append(v)
+            if not ok:
+                continue
+            result = sig.eval_fn(*values) & ((1 << 64) - 1)
+            const_cid = eg.add_enode("const", (), value=result, sort=Sort.INT)
+            eg.merge(root, const_cid)
+            self.stats.constants_folded += 1
+
+    def _synthesize_constants(self) -> None:
+        """Record ``c = 2**n`` for power-of-two constants (Figure 2(b)).
+
+        Only constants that occur as an argument of a multiplication get
+        the ``pow`` form: synthesising it for every constant floods the
+        graph with shift forms nothing downstream wants.
+        """
+        eg = self.eg
+        candidates: Set[int] = set()
+        for node, _root in eg.nodes_with_op("mul64"):
+            for arg in node.args:
+                candidates.add(eg.find(arg))
+        for cid in candidates:
+            c = eg.const_of(cid)
+            if c is None or c < 2:
+                continue
+            if c & (c - 1):
+                continue  # not a power of two
+            n = c.bit_length() - 1
+            if n > self.config.max_pow2_exponent:
+                continue
+            two = eg.add_enode("const", (), value=2, sort=Sort.INT)
+            exp = eg.add_enode("const", (), value=n, sort=Sort.INT)
+            pow_node = eg.add_enode("pow", (two, exp), sort=Sort.INT)
+            if not eg.are_equal(pow_node, cid):
+                eg.merge(pow_node, cid)
+                self.stats.constants_synthesized += 1
+
+    def _synthesize_byte_masks(self) -> None:
+        """Record ``and64(w, c) = zapnot(w, pattern)`` for byte-regular ``c``.
+
+        A constant is byte-regular when every byte is 0x00 or 0xFF; such an
+        AND is a single ``zapnot`` on the Alpha (and subsumes ``mskbl``).
+        Like power-of-two synthesis, this family is indexed by a constant's
+        *value*, so it cannot be a finite pattern axiom.
+        """
+        eg = self.eg
+        for node, root in list(eg.nodes_with_op("and64")):
+            for c_pos in (0, 1):
+                c = eg.const_of(node.args[c_pos])
+                if c is None:
+                    continue
+                pattern = _byte_regular_pattern(c)
+                if pattern is None:
+                    continue
+                w = node.args[1 - c_pos]
+                mask = eg.add_enode("const", (), value=pattern, sort=Sort.INT)
+                zn = eg.add_enode("zapnot", (w, mask), sort=Sort.INT)
+                if not eg.are_equal(zn, root):
+                    eg.merge(zn, root)
+                    self.stats.constants_synthesized += 1
+        # The reverse direction: byte-wise mask instructions also equal an
+        # AND with the expanded constant — the derivation targets without
+        # byte-manipulation hardware (e.g. the Itanium-like spec) need.
+        if not self.config.synthesize_mask_alternatives:
+            return
+        for op, expand in (
+            ("zapnot", lambda w_, m: V_zapnot_mask(m)),
+            ("mskbl", lambda w_, i: ~(0xFF << (8 * (i & 7))) & _M64),
+            ("mskwl", lambda w_, i: ~(0xFFFF << (8 * (i & 7))) & _M64),
+        ):
+            for node, root in list(eg.nodes_with_op(op)):
+                c = eg.const_of(node.args[1])
+                if c is None:
+                    continue
+                mask_value = expand(None, c)
+                w = node.args[0]
+                mask = eg.add_enode(
+                    "const", (), value=mask_value, sort=Sort.INT
+                )
+                anded = eg.add_enode("and64", (w, mask), sort=Sort.INT)
+                if not eg.are_equal(anded, root):
+                    eg.merge(anded, root)
+                    self.stats.constants_synthesized += 1
+
+    # -- axiom instantiation ------------------------------------------------
+
+    def _instantiate_axioms(self) -> bool:
+        """One pass over all axioms; returns True if a budget stopped it."""
+        cfg = self.config
+        budget_hit = False
+        for axiom in self.axioms:
+            for trigger in axiom.triggers:
+                matches = ematch_all(
+                    self.eg, trigger, limit=cfg.max_matches_per_trigger
+                )
+                if len(matches) >= cfg.max_matches_per_trigger:
+                    budget_hit = True
+                for subst in matches:
+                    if self.eg.num_enodes() >= cfg.max_enodes:
+                        return True
+                    self._assert_instance(axiom, subst)
+        return budget_hit
+
+    def _instance_key(self, axiom: Axiom, subst: Subst) -> Tuple:
+        eg = self.eg
+        return (
+            axiom.name,
+            tuple(sorted((v, eg.find(c)) for v, c in subst.items())),
+        )
+
+    def _assert_instance(self, axiom: Axiom, subst: Subst) -> None:
+        key = self._instance_key(axiom, subst)
+        if key in self._seen_instances:
+            return
+        self._seen_instances.add(key)
+
+        # Ground constant facts are constant folding's job; instantiating
+        # axioms over all-constant bindings only churns the graph.
+        if subst and all(
+            self.eg.const_of(c) is not None
+            and self.eg.class_sort(c) == Sort.INT
+            for c in subst.values()
+        ):
+            return
+
+        if isinstance(axiom, AxiomEquality):
+            lhs = instantiate(self.eg, axiom.lhs, subst, self.registry)
+            rhs = instantiate(self.eg, axiom.rhs, subst, self.registry)
+            if lhs is None or rhs is None:
+                return
+            if not self.eg.are_equal(lhs, rhs):
+                self.eg.merge(lhs, rhs)
+            self.stats.instances_asserted += 1
+        elif isinstance(axiom, AxiomDistinction):
+            lhs = instantiate(self.eg, axiom.lhs, subst, self.registry)
+            rhs = instantiate(self.eg, axiom.rhs, subst, self.registry)
+            if lhs is None or rhs is None:
+                return
+            if not self.eg.are_distinct(lhs, rhs):
+                self.eg.assert_distinct(lhs, rhs)
+            self.stats.instances_asserted += 1
+        else:
+            assert isinstance(axiom, AxiomClause)
+            literals: List[Tuple[str, int, int]] = []
+            for kind, lpat, rpat in axiom.literals:
+                lhs = instantiate(self.eg, lpat, subst, self.registry)
+                rhs = instantiate(self.eg, rpat, subst, self.registry)
+                if lhs is None or rhs is None:
+                    return
+                literals.append((kind, lhs, rhs))
+            clause_key = tuple(
+                (k, min(self.eg.find(l), self.eg.find(r)),
+                 max(self.eg.find(l), self.eg.find(r)))
+                for k, l, r in literals
+            )
+            if clause_key in self._seen_clauses:
+                return
+            self._seen_clauses.add(clause_key)
+            self._clauses.append(_ActiveClause(literals))
+            self.stats.clauses_recorded += 1
+
+    # -- clause propagation -----------------------------------------------------
+
+    def _propagate_clauses(self) -> None:
+        """Delete untenable literals; assert the survivor of unit clauses.
+
+        Runs to a local fixpoint: an assertion may make other clauses unit.
+        """
+        eg = self.eg
+        changed = True
+        while changed:
+            changed = False
+            remaining: List[_ActiveClause] = []
+            for clause in self._clauses:
+                satisfied = False
+                tenable: List[Tuple[str, int, int]] = []
+                for kind, lhs, rhs in clause.literals:
+                    if kind == "eq":
+                        if eg.are_equal(lhs, rhs):
+                            satisfied = True
+                            break
+                        if not eg.are_distinct(lhs, rhs):
+                            tenable.append((kind, lhs, rhs))
+                    else:
+                        if eg.are_distinct(lhs, rhs):
+                            satisfied = True
+                            break
+                        if not eg.are_equal(lhs, rhs):
+                            tenable.append((kind, lhs, rhs))
+                if satisfied:
+                    continue
+                if not tenable:
+                    raise InconsistentError(
+                        "all literals of a recorded clause are untenable"
+                    )
+                if len(tenable) == 1:
+                    kind, lhs, rhs = tenable[0]
+                    if kind == "eq":
+                        eg.merge(lhs, rhs)
+                    else:
+                        eg.assert_distinct(lhs, rhs)
+                    self.stats.clause_assertions += 1
+                    changed = True
+                    continue
+                clause.literals = tenable
+                remaining.append(clause)
+            self._clauses = remaining
+
+
+def saturate(
+    eg: EGraph,
+    axioms: AxiomSet,
+    registry: Optional[OperatorRegistry] = None,
+    config: Optional[SaturationConfig] = None,
+) -> SaturationStats:
+    """Convenience wrapper: build an engine, run it, return its stats."""
+    return SaturationEngine(eg, axioms, registry, config).run()

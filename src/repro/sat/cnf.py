@@ -1,0 +1,145 @@
+"""CNF formula construction.
+
+Literals follow the DIMACS convention: variables are positive ints
+``1..n``; literal ``+v`` is the variable, ``-v`` its negation.  The
+:class:`CNF` builder provides the structured constraints the Denali encoder
+needs (implication, at-most-one, exactly-one, definitional OR) so encoding
+bugs stay localised here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+Lit = int
+
+
+class CNF:
+    """A growable CNF formula with named variables.
+
+    Variables can be allocated anonymously (:meth:`new_var`) or by name
+    (:meth:`var`), where the name is any hashable — the Denali encoder uses
+    tuples like ``("L", cycle, term)`` so that models can be decoded back
+    into schedules.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[Lit]] = []
+        self._names: Dict[Hashable, int] = {}
+        self._by_index: Dict[int, Hashable] = {}
+
+    # -- variables ---------------------------------------------------------
+
+    def new_var(self, name: Optional[Hashable] = None) -> int:
+        """Allocate a fresh variable, optionally registering a name for it."""
+        self.num_vars += 1
+        v = self.num_vars
+        if name is not None:
+            if name in self._names:
+                raise ValueError("variable name %r already allocated" % (name,))
+            self._names[name] = v
+            self._by_index[v] = name
+        return v
+
+    def var(self, name: Hashable) -> int:
+        """The variable registered under ``name``, allocating on first use."""
+        v = self._names.get(name)
+        if v is None:
+            v = self.new_var(name)
+        return v
+
+    def has_var(self, name: Hashable) -> bool:
+        return name in self._names
+
+    def name_of(self, var: int) -> Optional[Hashable]:
+        return self._by_index.get(var)
+
+    def named_vars(self) -> Dict[Hashable, int]:
+        return dict(self._names)
+
+    # -- clauses ---------------------------------------------------------------
+
+    def add(self, *lits: Lit) -> None:
+        """Add one clause (a disjunction of literals)."""
+        self.add_clause(lits)
+
+    def add_clause(self, lits: Iterable[Lit]) -> None:
+        clause = []
+        seen = set()
+        for lit in lits:
+            if not isinstance(lit, int) or lit == 0:
+                raise ValueError("invalid literal %r" % (lit,))
+            if abs(lit) > self.num_vars:
+                raise ValueError(
+                    "literal %d references unallocated variable" % lit
+                )
+            if -lit in seen:
+                return  # tautology; drop silently
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        self.clauses.append(clause)
+
+    # -- structured constraints ---------------------------------------------
+
+    def implies(self, a: Lit, b: Lit) -> None:
+        """``a => b``."""
+        self.add(-a, b)
+
+    def implies_or(self, a: Lit, disjuncts: Sequence[Lit]) -> None:
+        """``a => (d1 | d2 | ...)``.  An empty disjunction forces ``not a``."""
+        self.add_clause([-a] + list(disjuncts))
+
+    def implies_all(self, a: Lit, conjuncts: Sequence[Lit]) -> None:
+        """``a => d`` for every ``d``."""
+        for b in conjuncts:
+            self.implies(a, b)
+
+    def iff_or(self, a: Lit, disjuncts: Sequence[Lit]) -> None:
+        """``a <=> (d1 | d2 | ...)`` (full Tseitin definition)."""
+        self.implies_or(a, disjuncts)
+        for d in disjuncts:
+            self.add(-d, a)
+
+    def at_most_one(self, lits: Sequence[Lit]) -> None:
+        """At most one of ``lits`` is true.
+
+        Uses pairwise encoding below 6 literals and the sequential
+        (commander-free ladder) encoding above, which adds O(n) auxiliary
+        variables but only O(n) clauses.
+        """
+        lits = list(lits)
+        n = len(lits)
+        if n <= 1:
+            return
+        if n <= 6:
+            for i in range(n):
+                for j in range(i + 1, n):
+                    self.add(-lits[i], -lits[j])
+            return
+        # Sinz's sequential encoding: s_i means "one of lits[0..i] is true".
+        s = [self.new_var() for _ in range(n - 1)]
+        self.add(-lits[0], s[0])
+        for i in range(1, n - 1):
+            self.add(-lits[i], s[i])
+            self.add(-s[i - 1], s[i])
+            self.add(-lits[i], -s[i - 1])
+        self.add(-lits[n - 1], -s[n - 2])
+
+    def exactly_one(self, lits: Sequence[Lit]) -> None:
+        lits = list(lits)
+        self.add_clause(lits)
+        self.at_most_one(lits)
+
+    # -- stats -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "vars": self.num_vars,
+            "clauses": len(self.clauses),
+            "literals": sum(len(c) for c in self.clauses),
+        }

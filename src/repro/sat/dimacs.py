@@ -1,0 +1,52 @@
+"""DIMACS CNF import/export.
+
+The paper swapped SAT solvers several times; DIMACS files are the portable
+interchange format that makes our solver equally replaceable: export the
+encoder's CNF, run any external solver, and decode its model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.sat.cnf import CNF
+
+
+def to_dimacs(cnf: CNF, comments: Iterable[str] = ()) -> str:
+    """Render ``cnf`` in DIMACS format."""
+    lines = ["c %s" % c for c in comments]
+    lines.append("p cnf %d %d" % (cnf.num_vars, len(cnf.clauses)))
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def from_dimacs(text: str) -> CNF:
+    """Parse a DIMACS file into a :class:`CNF`."""
+    cnf = CNF()
+    declared_vars = None
+    pending: list = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError("malformed problem line: %r" % line)
+            declared_vars = int(parts[2])
+            while cnf.num_vars < declared_vars:
+                cnf.new_var()
+            continue
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                if declared_vars is None:
+                    raise ValueError("clause before problem line")
+                pending.append(lit)
+    if pending:
+        raise ValueError("final clause not terminated by 0")
+    return cnf

@@ -1,0 +1,491 @@
+"""A CDCL SAT solver.
+
+Implements the standard conflict-driven clause-learning loop:
+
+* unit propagation with two-watched literals,
+* first-UIP conflict analysis with learned-clause minimisation,
+* VSIDS decision heuristic with phase saving,
+* Luby-sequence restarts,
+* activity-based learned-clause database reduction.
+
+The solver plays the role CHAFF plays in the paper.  It is deliberately
+independent of the Denali encoder: it consumes any :class:`repro.sat.cnf.CNF`
+and returns a :class:`SatResult`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from repro.sat.cnf import CNF
+
+_UNASSIGNED = -1
+
+
+@dataclass
+class Stats:
+    """Counters describing one solver run."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned: int = 0
+    deleted: int = 0
+    time_seconds: float = 0.0
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solve call.
+
+    ``satisfiable`` is ``None`` when the solver hit its conflict budget
+    before reaching an answer.
+    """
+
+    satisfiable: Optional[bool]
+    model: Optional[Dict[int, bool]] = None
+    stats: Stats = field(default_factory=Stats)
+
+    def value(self, var: int) -> bool:
+        if self.model is None:
+            raise ValueError("no model available")
+        return self.model.get(var, False)
+
+
+class SatSolver(Protocol):
+    """The pluggable solver interface the Denali pipeline depends on."""
+
+    def solve(self, cnf: CNF) -> SatResult:  # pragma: no cover - protocol
+        ...
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt", "activity", "lbd")
+
+    def __init__(self, lits: List[int], learnt: bool = False, lbd: int = 0):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+        self.lbd = lbd
+
+
+class CdclSolver:
+    """Conflict-driven clause learning solver.
+
+    Parameters:
+        conflict_budget: stop with ``satisfiable=None`` after this many
+            conflicts (``None`` = unbounded).
+        restart_base: Luby restart unit, in conflicts.
+        var_decay: VSIDS activity decay factor.
+    """
+
+    def __init__(
+        self,
+        conflict_budget: Optional[int] = None,
+        restart_base: int = 100,
+        var_decay: float = 0.95,
+        clause_decay: float = 0.999,
+        max_learnts_factor: float = 3.0,
+    ) -> None:
+        self.conflict_budget = conflict_budget
+        self.restart_base = restart_base
+        self.var_decay = var_decay
+        self.clause_decay = clause_decay
+        self.max_learnts_factor = max_learnts_factor
+
+    # -- public API ---------------------------------------------------------
+
+    def solve(
+        self, cnf: CNF, assumptions: Sequence[int] = ()
+    ) -> SatResult:
+        """Decide satisfiability of ``cnf`` under optional assumption literals."""
+        start = time.perf_counter()
+        self._init(cnf)
+        stats = self._stats
+
+        # Load problem clauses.
+        for lits in cnf.clauses:
+            if not self._add_clause(list(lits), learnt=False):
+                stats.time_seconds = time.perf_counter() - start
+                return SatResult(False, None, stats)
+
+        if self._propagate() is not None:
+            stats.time_seconds = time.perf_counter() - start
+            return SatResult(False, None, stats)
+
+        self._assumptions = list(assumptions)
+        restarts = 0
+        conflicts_until_restart = self.restart_base * _luby(restarts + 1)
+        conflicts_at_restart = 0
+        max_learnts = max(
+            1000, int(self.max_learnts_factor * len(self._clauses))
+        )
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                stats.conflicts += 1
+                conflicts_at_restart += 1
+                if self._decision_level() == 0:
+                    stats.time_seconds = time.perf_counter() - start
+                    return SatResult(False, None, stats)
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                self._learn(learnt)
+                self._decay_activities()
+                if (
+                    self.conflict_budget is not None
+                    and stats.conflicts >= self.conflict_budget
+                ):
+                    stats.time_seconds = time.perf_counter() - start
+                    return SatResult(None, None, stats)
+                continue
+
+            if len(self._learnts) > max_learnts:
+                self._reduce_db()
+                max_learnts = int(max_learnts * 1.1)
+
+            if conflicts_at_restart >= conflicts_until_restart:
+                restarts += 1
+                stats.restarts += 1
+                conflicts_at_restart = 0
+                conflicts_until_restart = self.restart_base * _luby(restarts + 1)
+                self._backtrack(len(self._assumptions_done))
+
+            lit = self._next_assumption()
+            if lit is None:
+                lit = self._decide()
+            if lit is None:
+                model = {
+                    v: self._assign[v] == 1
+                    for v in range(1, self._nvars + 1)
+                }
+                stats.time_seconds = time.perf_counter() - start
+                return SatResult(True, model, stats)
+            if lit is False:  # conflicting assumptions
+                stats.time_seconds = time.perf_counter() - start
+                return SatResult(False, None, stats)
+
+    # -- initialisation ----------------------------------------------------------
+
+    def _init(self, cnf: CNF) -> None:
+        n = cnf.num_vars
+        self._nvars = n
+        self._assign: List[int] = [_UNASSIGNED] * (n + 1)
+        self._level: List[int] = [0] * (n + 1)
+        self._reason: List[Optional[_Clause]] = [None] * (n + 1)
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        # watches[lit_index(l)] = clauses watching literal l
+        self._watches: List[List[_Clause]] = [[] for _ in range(2 * n + 2)]
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._activity: List[float] = [0.0] * (n + 1)
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._phase: List[bool] = [False] * (n + 1)
+        # Lazy max-heap over (-activity, var); stale entries are skipped.
+        self._heap: List[tuple] = [(0.0, v) for v in range(1, n + 1)]
+        heapq.heapify(self._heap)
+        self._stats = Stats()
+        self._assumptions: List[int] = []
+        self._assumptions_done: List[int] = []
+
+    @staticmethod
+    def _widx(lit: int) -> int:
+        v = abs(lit)
+        return 2 * v + (0 if lit > 0 else 1)
+
+    def _value(self, lit: int) -> int:
+        """1 true, 0 false, -1 unassigned — of a literal."""
+        a = self._assign[abs(lit)]
+        if a == _UNASSIGNED:
+            return _UNASSIGNED
+        return a if lit > 0 else 1 - a
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    # -- clause management ---------------------------------------------------
+
+    def _add_clause(self, lits: List[int], learnt: bool, lbd: int = 0) -> bool:
+        """Attach a clause; returns False on immediate root contradiction."""
+        if not learnt:
+            lits = sorted(set(lits), key=abs)
+            if any(-l in lits for l in lits):
+                return True  # tautology
+            if any(self._value(l) == 1 for l in lits):
+                return True  # already satisfied at the root level
+            lits = [l for l in lits if self._value(l) != 0]
+        if not lits:
+            return False
+        if len(lits) == 1:
+            val = self._value(lits[0])
+            if val == 0:
+                return False
+            if val == _UNASSIGNED:
+                self._enqueue(lits[0], None)
+            return True
+        clause = _Clause(lits, learnt, lbd)
+        (self._learnts if learnt else self._clauses).append(clause)
+        self._watches[self._widx(lits[0])].append(clause)
+        self._watches[self._widx(lits[1])].append(clause)
+        return True
+
+    def _learn(self, lits: List[int]) -> None:
+        self._stats.learned += 1
+        if len(lits) == 1:
+            self._enqueue(lits[0], None)
+            return
+        lbd = len({self._level[abs(l)] for l in lits})
+        clause = _Clause(lits, True, lbd)
+        clause.activity = self._cla_inc
+        self._learnts.append(clause)
+        self._watches[self._widx(lits[0])].append(clause)
+        self._watches[self._widx(lits[1])].append(clause)
+        self._enqueue(lits[0], clause)
+
+    def _reduce_db(self) -> None:
+        """Drop the least active half of the learned clauses."""
+        self._learnts.sort(key=lambda c: (c.lbd, -c.activity))
+        keep_count = len(self._learnts) // 2
+        locked = {self._reason[abs(l)] for l in self._trail}
+        keep, drop = [], []
+        for i, c in enumerate(self._learnts):
+            if i < keep_count or c in locked or c.lbd <= 2:
+                keep.append(c)
+            else:
+                drop.append(c)
+        if not drop:
+            return
+        dropset = set(map(id, drop))
+        for w in self._watches:
+            w[:] = [c for c in w if id(c) not in dropset]
+        self._learnts = keep
+        self._stats.deleted += len(drop)
+
+    # -- trail ----------------------------------------------------------------
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
+        v = abs(lit)
+        self._assign[v] = 1 if lit > 0 else 0
+        self._level[v] = self._decision_level()
+        self._reason[v] = reason
+        self._trail.append(lit)
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            v = abs(lit)
+            self._phase[v] = self._assign[v] == 1
+            self._assign[v] = _UNASSIGNED
+            self._reason[v] = None
+            heapq.heappush(self._heap, (-self._activity[v], v))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+        del self._assumptions_done[level:]
+
+    # -- propagation ----------------------------------------------------------
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self._stats.propagations += 1
+            false_lit = -lit
+            widx = self._widx(false_lit)
+            watchers = self._watches[widx]
+            i = 0
+            j = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Normalise: watched literals are lits[0] and lits[1].
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    watchers[j] = clause
+                    j += 1
+                    continue
+                # Look for a new watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[self._widx(lits[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                watchers[j] = clause
+                j += 1
+                if self._value(first) == 0:
+                    # Conflict: keep remaining watchers, report.
+                    while i < n:
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    del watchers[j:]
+                    return clause
+                self._enqueue(first, clause)
+            del watchers[j:]
+        return None
+
+    # -- conflict analysis ---------------------------------------------------
+
+    def _analyze(self, conflict: _Clause):
+        """First-UIP analysis; returns (learnt clause lits, backtrack level)."""
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._nvars + 1)
+        counter = 0
+        lit = None
+        clause: Optional[_Clause] = conflict
+        idx = len(self._trail) - 1
+        level = self._decision_level()
+
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                clause.activity += self._cla_inc
+            for q in clause.lits:
+                if lit is not None and q == lit:
+                    continue
+                v = abs(q)
+                if not seen[v] and self._level[v] > 0:
+                    seen[v] = True
+                    self._bump(v)
+                    if self._level[v] >= level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Find the next trail literal to resolve on.
+            while not seen[abs(self._trail[idx])]:
+                idx -= 1
+            lit = self._trail[idx]
+            v = abs(lit)
+            seen[v] = False
+            counter -= 1
+            idx -= 1
+            if counter == 0:
+                learnt[0] = -lit
+                break
+            clause = self._reason[v]
+
+        # Clause minimisation: drop literals implied by the rest.
+        kept = [learnt[0]]
+        for q in learnt[1:]:
+            reason = self._reason[abs(q)]
+            if reason is None:
+                kept.append(q)
+                continue
+            if all(
+                seen[abs(r)] or self._level[abs(r)] == 0
+                for r in reason.lits
+                if abs(r) != abs(q)
+            ):
+                continue  # redundant
+            kept.append(q)
+        learnt = kept
+
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backtrack to the second-highest level in the clause.
+        levels = sorted((self._level[abs(q)] for q in learnt[1:]), reverse=True)
+        back = levels[0]
+        # Put a literal of the backtrack level in position 1 (watch invariant).
+        for k in range(1, len(learnt)):
+            if self._level[abs(learnt[k])] == back:
+                learnt[1], learnt[k] = learnt[k], learnt[1]
+                break
+        return learnt, back
+
+    # -- heuristics ------------------------------------------------------------
+
+    def _bump(self, v: int) -> None:
+        self._activity[v] += self._var_inc
+        if self._activity[v] > 1e100:
+            for i in range(1, self._nvars + 1):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+            self._heap = [
+                (-self._activity[v], v)
+                for v in range(1, self._nvars + 1)
+                if self._assign[v] == _UNASSIGNED
+            ]
+            heapq.heapify(self._heap)
+            return
+        heapq.heappush(self._heap, (-self._activity[v], v))
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self.var_decay
+        self._cla_inc /= self.clause_decay
+        if self._cla_inc > 1e100:
+            for c in self._learnts:
+                c.activity *= 1e-100
+            self._cla_inc *= 1e-100
+
+    def _next_assumption(self):
+        """Enqueue the next pending assumption; False on conflict, None if done."""
+        while len(self._assumptions_done) < len(self._assumptions):
+            lit = self._assumptions[len(self._assumptions_done)]
+            val = self._value(lit)
+            if val == 1:
+                self._assumptions_done.append(lit)
+                continue
+            if val == 0:
+                return False
+            self._trail_lim.append(len(self._trail))
+            self._assumptions_done.append(lit)
+            self._stats.decisions += 1
+            self._enqueue(lit, None)
+            return lit
+        return None
+
+    def _decide(self) -> Optional[int]:
+        """Pick the unassigned variable with highest activity (lazy heap)."""
+        best = None
+        while self._heap:
+            neg_act, v = heapq.heappop(self._heap)
+            if self._assign[v] == _UNASSIGNED and -neg_act == self._activity[v]:
+                best = v
+                break
+        if best is None:
+            # Heap may have gone stale; fall back to a scan.
+            for v in range(1, self._nvars + 1):
+                if self._assign[v] == _UNASSIGNED:
+                    best = v
+                    break
+        if best is None:
+            return None
+        self._stats.decisions += 1
+        self._trail_lim.append(len(self._trail))
+        lit = best if self._phase[best] else -best
+        self._enqueue(lit, None)
+        return lit

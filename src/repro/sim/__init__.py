@@ -1,0 +1,26 @@
+"""Machine simulation.
+
+The paper measured on real Alpha hardware (and hand-counted cycles for
+compiler output).  We substitute two simulators:
+
+* :mod:`repro.sim.machine` — a functional executor for extracted schedules
+  (and for baseline instruction sequences): what values does the code
+  compute?
+* :mod:`repro.sim.timing` — an EV6 timing model: how many cycles does a
+  sequence take, honouring latencies, functional-unit restrictions, issue
+  width and cross-cluster delays?  Used both to validate Denali's claimed
+  cycle counts and to *measure* baseline code the way the paper hand-counted
+  the C compiler's output.
+"""
+
+from repro.sim.machine import ExecutionError, MachineState, execute_schedule
+from repro.sim.timing import TimingError, TimingReport, simulate_timing
+
+__all__ = [
+    "ExecutionError",
+    "MachineState",
+    "execute_schedule",
+    "TimingError",
+    "TimingReport",
+    "simulate_timing",
+]

@@ -1,0 +1,134 @@
+"""Functional execution of extracted schedules.
+
+The executor is cycle-accurate about *dataflow*: an instruction reads its
+register operands at its launch cycle, and its result is committed at the
+end of launch + latency - 1 — so a register may be redefined in the same
+cycle another instruction reads its old value, exactly as on hardware, and
+the result is independent of any within-cycle ordering.  Memory is a
+single mutable state: stores take effect at their launch cycle (the
+encoder's anti-dependence constraints guarantee every load of the
+superseded version has already completed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.extraction import Schedule, ScheduledInstruction
+from repro.isa.registers import ZERO_REGISTER
+from repro.isa.spec import ArchSpec
+from repro.terms.ops import OperatorRegistry, default_registry
+from repro.terms.values import M64, Memory
+
+
+class ExecutionError(Exception):
+    """Raised when a schedule cannot be executed (missing operand, etc.)."""
+
+
+@dataclass
+class MachineState:
+    """Registers and memory after executing a schedule."""
+
+    registers: Dict[str, object] = field(default_factory=dict)
+    memory: Memory = field(default_factory=Memory)
+
+    def read(self, register: str):
+        if register == ZERO_REGISTER:
+            return 0
+        if register not in self.registers:
+            raise ExecutionError("read of unwritten register %s" % register)
+        return self.registers[register]
+
+    def write(self, register: str, value) -> None:
+        if register == ZERO_REGISTER:
+            return  # writes to $31 are discarded on Alpha
+        if isinstance(value, int):
+            value &= M64
+        self.registers[register] = value
+
+
+def execute_schedule(
+    schedule: Schedule,
+    inputs: Dict[str, object],
+    registry: Optional[OperatorRegistry] = None,
+    spec: Optional[ArchSpec] = None,
+) -> MachineState:
+    """Run ``schedule`` with the given input values.
+
+    ``inputs`` maps input *names* (as bound in the schedule's register map)
+    to values; the memory input (if any) is the value under the name bound
+    to memory, conventionally ``"M"``.  When ``spec`` is given, result
+    commit times use its latencies; otherwise results commit at the end of
+    the launch cycle (sufficient for schedules whose operand timing was
+    already validated).
+    """
+    registry = registry if registry is not None else default_registry()
+    state = MachineState()
+    for name, value in inputs.items():
+        if isinstance(value, Memory):
+            state.memory = value
+            continue
+        reg = schedule.register_map.get(name)
+        if reg is None:
+            raise ExecutionError("input %r is not bound in the register map" % name)
+        state.write(reg, int(value))
+
+    by_cycle: Dict[int, List[ScheduledInstruction]] = {}
+    for instr in schedule.instructions:
+        by_cycle.setdefault(instr.cycle, []).append(instr)
+
+    # (commit_cycle, register, value); committed before the cycle begins.
+    pending: List[Tuple[int, str, object]] = []
+
+    for cycle in sorted(by_cycle):
+        still_pending = []
+        for commit_cycle, reg, value in pending:
+            if commit_cycle < cycle:
+                state.write(reg, value)
+            else:
+                still_pending.append((commit_cycle, reg, value))
+        pending = still_pending
+
+        for instr in by_cycle[cycle]:
+            result = _compute(instr, state, registry)
+            if instr.node.op == "store":
+                state.memory = result  # takes effect at launch (see above)
+                continue
+            if instr.dest is None:
+                raise ExecutionError(
+                    "instruction %r has no destination" % instr.mnemonic
+                )
+            latency = spec.latency(instr.node.op) if spec is not None else 1
+            pending.append((cycle + latency - 1, instr.dest, result))
+
+    for _commit_cycle, reg, value in pending:
+        state.write(reg, value)
+    return state
+
+
+def _operand_value(instr: ScheduledInstruction, index: int, state: MachineState):
+    op = instr.operands[index]
+    if op.memory:
+        return state.memory
+    if op.register is not None:
+        return state.read(op.register)
+    return op.literal & M64
+
+
+def _compute(
+    instr: ScheduledInstruction,
+    state: MachineState,
+    registry: OperatorRegistry,
+):
+    op = instr.node.op
+    if op == "ldiq":
+        return instr.operands[0].literal & M64
+    sig = registry.get(op)
+    if sig.eval_fn is None:
+        raise ExecutionError("machine op %r has no semantics" % op)
+    args = [_operand_value(instr, i, state) for i in range(len(instr.operands))]
+    result = sig.eval_fn(*args)
+    if isinstance(result, Memory) and op != "store":
+        raise ExecutionError("unexpected memory result from %r" % op)
+    return result

@@ -1,0 +1,120 @@
+"""EV6 timing validation.
+
+Checks an extracted schedule against the architectural description: unit
+legality, issue limits, operand availability (including cross-cluster
+delays) and the claimed makespan.  This is the independent referee for
+Denali's cycle counts — the role the real hardware played in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.extraction import Schedule, ScheduledInstruction
+from repro.isa.spec import ArchSpec
+
+
+class TimingError(Exception):
+    """Raised for schedules that are structurally impossible to time."""
+
+
+@dataclass
+class TimingReport:
+    """Outcome of timing validation."""
+
+    ok: bool
+    makespan: int
+    violations: List[str] = field(default_factory=list)
+    per_cycle: Dict[int, int] = field(default_factory=dict)
+
+
+def simulate_timing(schedule: Schedule, spec: ArchSpec) -> TimingReport:
+    """Validate ``schedule`` against ``spec``; collect all violations."""
+    violations: List[str] = []
+    per_cycle: Dict[int, int] = {}
+    slot_taken: Dict[Tuple[int, str], ScheduledInstruction] = {}
+    makespan = 0
+
+    # Registers may be redefined once their previous value is dead; reads
+    # bind to the most recent earlier writer in issue order (which is also
+    # what the functional executor does).
+    producers: Dict[str, ScheduledInstruction] = {}
+    mem_producers: Dict[int, ScheduledInstruction] = {}
+    for instr in schedule.instructions:
+        info = spec.info(instr.node.op)
+        if info.kind == "store":
+            mem_producers[instr.class_id] = instr
+
+    ordered = sorted(
+        schedule.instructions,
+        key=lambda i: (i.cycle, spec.units.index(i.unit) if i.unit in spec.units else 0),
+    )
+    for instr in ordered:
+        info = spec.info(instr.node.op)
+        completion = instr.cycle + info.latency - 1
+        makespan = max(makespan, completion + 1)
+        per_cycle[instr.cycle] = per_cycle.get(instr.cycle, 0) + 1
+
+        if instr.cycle < 0:
+            violations.append("negative launch cycle for %s" % instr.mnemonic)
+        if instr.unit not in info.units:
+            violations.append(
+                "%s launched on unit %s (allowed: %s)"
+                % (instr.mnemonic, instr.unit, "/".join(info.units))
+            )
+        slot = (instr.cycle, instr.unit)
+        if slot in slot_taken:
+            violations.append(
+                "unit %s double-booked at cycle %d" % (instr.unit, instr.cycle)
+            )
+        slot_taken[slot] = instr
+
+        consumer_cluster = spec.clusters.get(instr.unit)
+        for operand in instr.operands:
+            if operand.literal is not None:
+                continue
+            if operand.memory:
+                producer = mem_producers.get(operand.class_id)
+            else:
+                producer = producers.get(operand.register)
+            if producer is None:
+                continue  # an input: available from the start
+            pinfo = spec.info(producer.node.op)
+            ready = producer.cycle + pinfo.latency - 1
+            if consumer_cluster is not None and producer.unit in spec.clusters:
+                ready += spec.result_delay(producer.unit, consumer_cluster)
+            if ready > instr.cycle - 1:
+                violations.append(
+                    "%s at cycle %d consumes %s before it is ready (cycle %d)"
+                    % (
+                        instr.mnemonic,
+                        instr.cycle,
+                        operand.render(),
+                        ready,
+                    )
+                )
+
+        # The destination register is redefined *after* this instruction's
+        # reads, so update the writer map last.
+        if instr.dest is not None:
+            producers[instr.dest] = instr
+
+    for cycle, count in per_cycle.items():
+        if count > spec.issue_width:
+            violations.append(
+                "%d launches at cycle %d exceed issue width %d"
+                % (count, cycle, spec.issue_width)
+            )
+
+    if makespan > schedule.cycles:
+        violations.append(
+            "makespan %d exceeds claimed %d cycles" % (makespan, schedule.cycles)
+        )
+
+    return TimingReport(
+        ok=not violations,
+        makespan=makespan,
+        violations=violations,
+        per_cycle=per_cycle,
+    )

@@ -1,0 +1,49 @@
+"""Term intermediate representation for the Denali reproduction.
+
+Terms are hash-consed DAG nodes over a registry of typed operators.  The
+operator registry (:mod:`repro.terms.ops`) carries executable reference
+semantics for every built-in operator (:mod:`repro.terms.values`), which the
+evaluator (:mod:`repro.terms.evaluator`) uses to give ground truth for the
+verification layer and the brute-force baseline.
+"""
+
+from repro.terms.term import (
+    Term,
+    TermError,
+    const,
+    inp,
+    mk,
+    subterms,
+    term_depth,
+    term_size,
+)
+from repro.terms.ops import (
+    OpSignature,
+    OperatorRegistry,
+    Sort,
+    default_registry,
+)
+from repro.terms.values import Memory, M64, to_signed, to_unsigned
+from repro.terms.evaluator import EvalError, Evaluator, evaluate
+
+__all__ = [
+    "Term",
+    "TermError",
+    "const",
+    "inp",
+    "mk",
+    "subterms",
+    "term_depth",
+    "term_size",
+    "OpSignature",
+    "OperatorRegistry",
+    "Sort",
+    "default_registry",
+    "Memory",
+    "M64",
+    "to_signed",
+    "to_unsigned",
+    "EvalError",
+    "Evaluator",
+    "evaluate",
+]

@@ -1,0 +1,101 @@
+"""Concrete evaluation of terms — the reference semantics.
+
+The evaluator is the ground truth the rest of the system is measured
+against: the verifier executes generated machine code on the simulator and
+compares with :func:`evaluate` on the GMA's expressions; the matcher uses it
+for constant folding; the brute-force baseline uses it to build test
+vectors.
+
+Operators without built-in semantics (program-declared via ``\\opdecl``)
+can still be evaluated when a *definitional axiom* is supplied — e.g. the
+checksum example's ``add(a,b) = add64(add64(a,b), carry(a,b))`` — via the
+``definitions`` argument (see :meth:`repro.axioms.axiom.AxiomSet.definitions`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.terms.ops import OperatorRegistry, default_registry
+from repro.terms.term import Term
+
+
+class EvalError(Exception):
+    """Raised when a term cannot be evaluated (unknown input, uninterpreted op)."""
+
+
+class Evaluator:
+    """Evaluates terms under an environment, memoising shared subterms.
+
+    The environment maps input names to values: ints for
+    register-sort inputs, :class:`repro.terms.values.Memory` for the memory.
+    ``definitions`` maps uninterpreted operator names to
+    ``(param_names, rhs_pattern)`` pairs.
+    """
+
+    def __init__(
+        self,
+        env: Dict[str, object],
+        registry: Optional[OperatorRegistry] = None,
+        definitions: Optional[Dict[str, Tuple[Tuple[str, ...], object]]] = None,
+    ) -> None:
+        self.env = env
+        self.registry = registry if registry is not None else default_registry()
+        self.definitions = definitions or {}
+        self._cache: Dict[Term, object] = {}
+
+    def eval(self, term: Term) -> object:
+        cached = self._cache.get(term)
+        if cached is not None or term in self._cache:
+            return cached
+        value = self._eval_uncached(term)
+        self._cache[term] = value
+        return value
+
+    def _eval_uncached(self, term: Term) -> object:
+        if term.is_const:
+            return term.value
+        if term.is_input:
+            if term.name not in self.env:
+                raise EvalError("no value for input %r" % term.name)
+            return self.env[term.name]
+        sig = self.registry.get(term.op)
+        args = [self.eval(a) for a in term.args]
+        if sig.eval_fn is not None:
+            return sig.eval_fn(*args)
+        if term.op in self.definitions:
+            params, rhs = self.definitions[term.op]
+            binding = dict(zip(params, args))
+            return self._eval_pattern(rhs, binding)
+        raise EvalError(
+            "operator %r is uninterpreted and cannot be evaluated" % term.op
+        )
+
+    def _eval_pattern(self, pattern, binding: Dict[str, object]) -> object:
+        """Evaluate an axiom pattern under a value binding (for definitions)."""
+        if pattern.is_var:
+            if pattern.var not in binding:
+                raise EvalError("unbound definition variable %r" % pattern.var)
+            return binding[pattern.var]
+        if pattern.is_const:
+            return pattern.value
+        sig = self.registry.get(pattern.op)
+        args = [self._eval_pattern(a, binding) for a in pattern.args]
+        if sig.eval_fn is not None:
+            return sig.eval_fn(*args)
+        if pattern.op in self.definitions:
+            params, rhs = self.definitions[pattern.op]
+            return self._eval_pattern(rhs, dict(zip(params, args)))
+        raise EvalError(
+            "operator %r in a definition is itself undefined" % pattern.op
+        )
+
+
+def evaluate(
+    term: Term,
+    env: Dict[str, object],
+    registry: Optional[OperatorRegistry] = None,
+    definitions: Optional[Dict[str, Tuple[Tuple[str, ...], object]]] = None,
+) -> object:
+    """Evaluate ``term`` under ``env``; convenience wrapper over :class:`Evaluator`."""
+    return Evaluator(env, registry, definitions).eval(term)

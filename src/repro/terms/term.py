@@ -1,0 +1,163 @@
+"""Hash-consed terms.
+
+A :class:`Term` is an immutable node of a term DAG: an operator applied to
+argument terms, a 64-bit constant, or a named input (the initial contents of
+a register or of the memory).  Terms are interned, so structural equality is
+identity equality and terms can be used freely as dict keys — the E-graph,
+matcher and encoder all rely on this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.terms.ops import OperatorRegistry, Sort, default_registry
+
+
+class TermError(Exception):
+    """Raised when a term is constructed with the wrong sorts or arity."""
+
+
+class Term:
+    """One interned node of the term DAG.
+
+    There are three kinds of node:
+
+    * applications: ``op`` is the operator name, ``args`` the children;
+    * constants: ``op == "const"``, the value in ``value``;
+    * inputs: ``op == "input"``, the name in ``name``.
+
+    Do not instantiate directly; use :func:`mk`, :func:`const` and
+    :func:`inp`, which intern.
+    """
+
+    __slots__ = ("op", "args", "value", "name", "sort", "_hash")
+
+    def __init__(
+        self,
+        op: str,
+        args: Tuple["Term", ...],
+        value: Optional[int],
+        name: Optional[str],
+        sort: Sort,
+    ) -> None:
+        self.op = op
+        self.args = args
+        self.value = value
+        self.name = name
+        self.sort = sort
+        self._hash = hash((op, args, value, name, sort))
+
+    # Interning makes identity equality correct; keep default eq/hash fast.
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __ne__(self, other: object) -> bool:
+        return self is not other
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return self.op == "const"
+
+    @property
+    def is_input(self) -> bool:
+        return self.op == "input"
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.args
+
+    # -- display ------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+    def pretty(self) -> str:
+        """Render as an s-expression, e.g. ``(add64 a 4)``."""
+        if self.is_const:
+            return str(self.value)
+        if self.is_input:
+            return str(self.name)
+        return "(%s %s)" % (self.op, " ".join(a.pretty() for a in self.args))
+
+
+_INTERN: Dict[Tuple, Term] = {}
+
+
+def _intern(op: str, args: Tuple[Term, ...], value, name, sort: Sort) -> Term:
+    key = (op, args, value, name, sort)
+    term = _INTERN.get(key)
+    if term is None:
+        term = Term(op, args, value, name, sort)
+        _INTERN[key] = term
+    return term
+
+
+def const(value: int) -> Term:
+    """The 64-bit constant term for ``value`` (reduced mod 2**64)."""
+    if not isinstance(value, int):
+        raise TermError("constant must be an int, got %r" % (value,))
+    return _intern("const", (), value & ((1 << 64) - 1), None, Sort.INT)
+
+
+def inp(name: str, sort: Sort = Sort.INT) -> Term:
+    """A named input: the initial value of a register or the memory."""
+    if not name or not isinstance(name, str):
+        raise TermError("input name must be a non-empty string")
+    return _intern("input", (), None, name, sort)
+
+
+def mk(op: str, *args: Term, registry: Optional[OperatorRegistry] = None) -> Term:
+    """Apply operator ``op`` to ``args``, sort-checking against ``registry``.
+
+    With no registry the default (built-in) registry is used; programs with
+    local ``\\opdecl`` operators must pass their extended registry.
+    """
+    reg = registry if registry is not None else default_registry()
+    sig = reg.get(op)
+    if len(args) != sig.arity:
+        raise TermError(
+            "operator %r expects %d arguments, got %d" % (op, sig.arity, len(args))
+        )
+    for i, (arg, want) in enumerate(zip(args, sig.params)):
+        if not isinstance(arg, Term):
+            raise TermError("argument %d of %r is not a Term: %r" % (i, op, arg))
+        if arg.sort != want:
+            raise TermError(
+                "argument %d of %r has sort %s, expected %s"
+                % (i, op, arg.sort.value, want.value)
+            )
+    return _intern(op, tuple(args), None, None, sig.result)
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """All distinct subterms of ``term`` (including itself), post-order."""
+    seen: Set[Term] = set()
+
+    def walk(t: Term) -> Iterator[Term]:
+        if t in seen:
+            return
+        seen.add(t)
+        for a in t.args:
+            yield from walk(a)
+        yield t
+
+    return walk(term)
+
+
+def term_size(term: Term) -> int:
+    """Number of distinct nodes in the term DAG rooted at ``term``."""
+    return sum(1 for _ in subterms(term))
+
+
+def term_depth(term: Term) -> int:
+    """Height of the term (leaves have depth 1)."""
+    depth: Dict[Term, int] = {}
+    for t in subterms(term):
+        depth[t] = 1 + max((depth[a] for a in t.args), default=0)
+    return depth[term]

@@ -1,0 +1,385 @@
+"""Reference semantics for the 64-bit Alpha value domain.
+
+All integer operators work on unsigned 64-bit words represented as Python
+ints in ``range(2**64)``.  Signedness only matters at comparison and
+sign-extension boundaries, where :func:`to_signed` / :func:`to_unsigned`
+convert.  Memories are persistent (functional) arrays, matching the paper's
+treatment of the memory ``M`` as a value updated by ``store``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+M64 = (1 << 64) - 1
+M32 = (1 << 32) - 1
+M16 = (1 << 16) - 1
+M8 = (1 << 8) - 1
+
+
+def to_unsigned(x: int) -> int:
+    """Map any Python int onto the unsigned 64-bit domain."""
+    return x & M64
+
+
+def to_signed(x: int) -> int:
+    """Interpret an unsigned 64-bit word as a signed two's-complement value."""
+    x &= M64
+    if x >= 1 << 63:
+        return x - (1 << 64)
+    return x
+
+
+def sext(x: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` bits of ``x`` to a 64-bit word."""
+    x &= (1 << bits) - 1
+    if x & (1 << (bits - 1)):
+        x -= 1 << bits
+    return x & M64
+
+
+class Memory:
+    """A persistent functional array of 64-bit words addressed by ints.
+
+    ``store`` returns a new :class:`Memory` sharing structure with its
+    parent; the original is unchanged.  This mirrors the paper's translation
+    of ``M[p] := e`` into ``M := store(M, p, e)``, where the whole memory is
+    a value.
+    """
+
+    __slots__ = ("_base", "_data")
+
+    def __init__(
+        self,
+        data: Optional[Dict[int, int]] = None,
+        base: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        self._data: Dict[int, int] = dict(data) if data else {}
+        self._base = base
+
+    def select(self, addr: int) -> int:
+        """Read the 64-bit word at ``addr``."""
+        addr = to_unsigned(addr)
+        if addr in self._data:
+            return self._data[addr]
+        if self._base is not None:
+            return to_unsigned(self._base(addr))
+        return 0
+
+    def store(self, addr: int, value: int) -> "Memory":
+        """Return a new memory with ``addr`` mapped to ``value``."""
+        new = Memory(self._data, self._base)
+        new._data[to_unsigned(addr)] = to_unsigned(value)
+        return new
+
+    def equal_on(self, other: "Memory", addrs) -> bool:
+        """Compare two memories extensionally on the given addresses."""
+        return all(self.select(a) == other.select(a) for a in addrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(
+            "0x%x: 0x%x" % (a, v) for a, v in sorted(self._data.items())
+        )
+        return "Memory({%s})" % entries
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def add64(a: int, b: int) -> int:
+    return (a + b) & M64
+
+
+def sub64(a: int, b: int) -> int:
+    return (a - b) & M64
+
+
+def mul64(a: int, b: int) -> int:
+    return (a * b) & M64
+
+
+def neg64(a: int) -> int:
+    return (-a) & M64
+
+
+def umulh(a: int, b: int) -> int:
+    """High 64 bits of the unsigned 128-bit product."""
+    return ((a & M64) * (b & M64)) >> 64
+
+
+def addl(a: int, b: int) -> int:
+    """Alpha ``addl``: 32-bit add, result sign-extended to 64 bits."""
+    return sext(a + b, 32)
+
+
+def subl(a: int, b: int) -> int:
+    return sext(a - b, 32)
+
+
+def mull(a: int, b: int) -> int:
+    return sext((a & M32) * (b & M32), 32)
+
+
+def s4addq(a: int, b: int) -> int:
+    return (4 * a + b) & M64
+
+
+def s8addq(a: int, b: int) -> int:
+    return (8 * a + b) & M64
+
+
+def s4subq(a: int, b: int) -> int:
+    return (4 * a - b) & M64
+
+
+def s8subq(a: int, b: int) -> int:
+    return (8 * a - b) & M64
+
+
+def s4addl(a: int, b: int) -> int:
+    return sext(4 * a + b, 32)
+
+
+def s8addl(a: int, b: int) -> int:
+    return sext(8 * a + b, 32)
+
+
+# ---------------------------------------------------------------------------
+# Logic
+# ---------------------------------------------------------------------------
+
+
+def and64(a: int, b: int) -> int:
+    return a & b
+
+
+def bis(a: int, b: int) -> int:
+    """Alpha's ``or`` (bit set)."""
+    return a | b
+
+
+def xor64(a: int, b: int) -> int:
+    return a ^ b
+
+
+def bic(a: int, b: int) -> int:
+    """Bit clear: ``a & ~b``."""
+    return a & (~b & M64)
+
+
+def ornot(a: int, b: int) -> int:
+    return (a | (~b & M64)) & M64
+
+
+def eqv(a: int, b: int) -> int:
+    """Exclusive-nor."""
+    return (~(a ^ b)) & M64
+
+
+def not64(a: int) -> int:
+    return (~a) & M64
+
+
+# ---------------------------------------------------------------------------
+# Shifts (Alpha uses the low 6 bits of the count)
+# ---------------------------------------------------------------------------
+
+
+def sll(a: int, b: int) -> int:
+    return (a << (b & 63)) & M64
+
+
+def srl(a: int, b: int) -> int:
+    return (a & M64) >> (b & 63)
+
+
+def sra(a: int, b: int) -> int:
+    return to_unsigned(to_signed(a) >> (b & 63))
+
+
+# ---------------------------------------------------------------------------
+# Comparisons (result is the 64-bit word 0 or 1)
+# ---------------------------------------------------------------------------
+
+
+def cmpeq(a: int, b: int) -> int:
+    return int((a & M64) == (b & M64))
+
+
+def cmpult(a: int, b: int) -> int:
+    return int((a & M64) < (b & M64))
+
+
+def cmpule(a: int, b: int) -> int:
+    return int((a & M64) <= (b & M64))
+
+
+def cmplt(a: int, b: int) -> int:
+    return int(to_signed(a) < to_signed(b))
+
+
+def cmple(a: int, b: int) -> int:
+    return int(to_signed(a) <= to_signed(b))
+
+
+# ---------------------------------------------------------------------------
+# Conditional moves.  ``cmovXX(test, new, old)`` returns ``new`` when the
+# condition holds of ``test``, else ``old``.
+# ---------------------------------------------------------------------------
+
+
+def cmoveq(t: int, a: int, b: int) -> int:
+    return a if (t & M64) == 0 else b
+
+
+def cmovne(t: int, a: int, b: int) -> int:
+    return a if (t & M64) != 0 else b
+
+
+def cmovlt(t: int, a: int, b: int) -> int:
+    return a if to_signed(t) < 0 else b
+
+
+def cmovge(t: int, a: int, b: int) -> int:
+    return a if to_signed(t) >= 0 else b
+
+
+def cmovle(t: int, a: int, b: int) -> int:
+    return a if to_signed(t) <= 0 else b
+
+
+def cmovgt(t: int, a: int, b: int) -> int:
+    return a if to_signed(t) > 0 else b
+
+
+def cmovlbs(t: int, a: int, b: int) -> int:
+    return a if t & 1 else b
+
+
+def cmovlbc(t: int, a: int, b: int) -> int:
+    return a if not (t & 1) else b
+
+
+# ---------------------------------------------------------------------------
+# Byte manipulation.  These are the stars of the byteswap benchmarks.
+# The byte index is the low 3 bits of the second operand, as on Alpha.
+# ---------------------------------------------------------------------------
+
+
+def _byte_index(i: int) -> int:
+    return (i & M64) & 7
+
+
+def extbl(w: int, i: int) -> int:
+    return (w >> (8 * _byte_index(i))) & M8
+
+
+def extwl(w: int, i: int) -> int:
+    return (w >> (8 * _byte_index(i))) & M16
+
+
+def extll(w: int, i: int) -> int:
+    return (w >> (8 * _byte_index(i))) & M32
+
+
+def extql(w: int, i: int) -> int:
+    return (w & M64) >> (8 * _byte_index(i))
+
+
+def insbl(w: int, i: int) -> int:
+    return ((w & M8) << (8 * _byte_index(i))) & M64
+
+
+def inswl(w: int, i: int) -> int:
+    return ((w & M16) << (8 * _byte_index(i))) & M64
+
+
+def insll(w: int, i: int) -> int:
+    return ((w & M32) << (8 * _byte_index(i))) & M64
+
+
+def insql(w: int, i: int) -> int:
+    return ((w & M64) << (8 * _byte_index(i))) & M64
+
+
+def mskbl(w: int, i: int) -> int:
+    return w & ~(M8 << (8 * _byte_index(i))) & M64
+
+
+def mskwl(w: int, i: int) -> int:
+    return w & ~(M16 << (8 * _byte_index(i))) & M64
+
+
+def mskll(w: int, i: int) -> int:
+    return w & ~(M32 << (8 * _byte_index(i))) & M64
+
+
+def mskql(w: int, i: int) -> int:
+    return w & ~(M64 << (8 * _byte_index(i))) & M64
+
+
+def zap(w: int, m: int) -> int:
+    """Clear byte ``j`` of ``w`` for each set bit ``j`` in the low 8 bits of ``m``."""
+    out = w & M64
+    for j in range(8):
+        if (m >> j) & 1:
+            out &= ~(M8 << (8 * j)) & M64
+    return out
+
+
+def zapnot(w: int, m: int) -> int:
+    """Keep byte ``j`` of ``w`` for each set bit ``j``; clear the rest."""
+    out = 0
+    for j in range(8):
+        if (m >> j) & 1:
+            out |= w & (M8 << (8 * j))
+    return out & M64
+
+
+def sextb(a: int) -> int:
+    return sext(a, 8)
+
+
+def sextw(a: int) -> int:
+    return sext(a, 16)
+
+
+def sextl(a: int) -> int:
+    """Sign-extend a longword; semantics of ``addl rX, $31`` on Alpha."""
+    return sext(a, 32)
+
+
+# ---------------------------------------------------------------------------
+# Mathematical (non-machine) operators used by the axioms
+# ---------------------------------------------------------------------------
+
+
+def pow_(a: int, b: int) -> int:
+    """``a ** b`` on the 64-bit domain.  Only used in axioms (non-machine)."""
+    return pow(a & M64, b & M64, 1 << 64)
+
+
+def selectb(w: int, i: int) -> int:
+    """Byte ``i`` of word ``w`` (paper section 4)."""
+    return extbl(w, i)
+
+
+def storeb(w: int, i: int, x: int) -> int:
+    """Word ``w`` with byte ``i`` replaced by the low byte of ``x``."""
+    j = _byte_index(i)
+    return (w & ~(M8 << (8 * j)) | ((x & M8) << (8 * j))) & M64
+
+
+def selectw(w: int, i: int) -> int:
+    """16-bit field ``i`` (0..3) of word ``w``; used by the checksum axioms."""
+    return (w >> (16 * ((i & M64) & 3))) & M16
+
+
+def select_mem(m: Memory, a: int) -> int:
+    return m.select(a)
+
+
+def store_mem(m: Memory, a: int, x: int) -> Memory:
+    return m.store(a, x)

@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from repro.util.tables import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,26 @@
+"""Plain-text table formatting for the benchmark harnesses.
+
+Every benchmark prints the rows the paper reports; this keeps the output
+aligned and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    table: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width %d != header width %d" % (len(row), len(headers)))
+        table.append([str(c) for c in row])
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+
+    lines = [fmt(table[0]), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in table[1:])
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Differential verification of generated code.
+
+Denali's output is "correct by design" — every equality in the E-graph is
+an axiom instance — but our axiom files, like the paper's, "will need to
+grow further before they are satisfactory", and an unsound axiom would
+silently produce wrong code.  This package executes extracted schedules on
+the functional simulator and compares against the GMA's reference
+semantics over random and adversarial inputs, and validates the claimed
+cycle count on the timing model.
+"""
+
+from repro.verify.checker import CheckReport, check_schedule
+
+__all__ = ["CheckReport", "check_schedule"]

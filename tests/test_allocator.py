@@ -1,0 +1,91 @@
+"""Tests for the destination-register allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.allocator import AllocationError, allocate_destinations
+
+
+class TestBasics:
+    def test_distinct_registers_while_live(self):
+        # Three producers all read at the end: all live simultaneously.
+        uses = {0: [3], 1: [3], 2: [3], 3: []}
+        out = allocate_destinations(
+            [True] * 4, uses, set(), ["r1", "r2", "r3", "r4"]
+        )
+        assert len(set(out[:3])) == 3
+
+    def test_reuse_after_death(self):
+        # 0 dies when 1 reads it, so its register is immediately reusable
+        # (position 1 itself may take it); with a 2-register pool the four
+        # values fit because at most two are ever live.
+        uses = {0: [1], 1: [3], 2: [3], 3: []}
+        out = allocate_destinations([True] * 4, uses, set(), ["r1", "r2"])
+        assert out[1] == out[0]  # reuses the dying value's register
+        assert out[2] != out[1]  # 1 is still live at 2
+
+    def test_same_position_reuse(self):
+        # 1 reads 0 and may overwrite 0's register (read happens at issue).
+        uses = {0: [1], 1: []}
+        out = allocate_destinations([True, True], uses, set(), ["r1"])
+        assert out == ["r1", "r1"]
+
+    def test_protected_not_released(self):
+        uses = {0: [1], 1: []}
+        with pytest.raises(AllocationError):
+            allocate_destinations([True, True], uses, {0}, ["r1"])
+
+    def test_protected_with_enough_registers(self):
+        uses = {0: [1], 1: []}
+        out = allocate_destinations([True, True], uses, {0}, ["r1", "r2"])
+        assert out[0] != out[1]
+
+    def test_no_dest_positions_skip(self):
+        uses = {0: [1], 1: [], 2: []}
+        out = allocate_destinations([True, False, True], uses, set(), ["r1"])
+        assert out[1] is None
+        assert out[0] == "r1"
+
+    def test_pool_exhaustion_raises(self):
+        uses = {i: [5] for i in range(5)}
+        uses[5] = []
+        with pytest.raises(AllocationError):
+            allocate_destinations([True] * 6, uses, set(), ["r1", "r2"])
+
+    def test_dead_value_register_reused_immediately(self):
+        # 0 is never read: its register frees right away.
+        uses = {0: [], 1: []}
+        out = allocate_destinations([True, True], uses, set(), ["r1"])
+        assert out == ["r1", "r1"]
+
+
+class TestProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(st.data())
+    def test_no_live_range_overlap(self, data):
+        """Random DAG-shaped use lists: two values sharing a register must
+        have disjoint live ranges (def .. last use)."""
+        n = data.draw(st.integers(2, 12))
+        uses = {}
+        for i in range(n):
+            readers = data.draw(
+                st.lists(st.integers(i + 1, n), max_size=3, unique=True)
+            ) if i + 1 <= n else []
+            uses[i] = [r for r in readers if r < n]
+        protected = set(
+            data.draw(st.lists(st.integers(0, n - 1), max_size=2, unique=True))
+        )
+        pool = ["r%d" % k for k in range(n)]  # always enough
+        out = allocate_destinations([True] * n, uses, protected, pool)
+
+        def last_use(i):
+            if i in protected:
+                return n + 1  # protected values live forever
+            return max(uses[i], default=i)
+
+        for i in range(n):
+            for j in range(i + 1, n):
+                if out[i] is not None and out[i] == out[j]:
+                    # j redefines i's register: i must be dead by then.
+                    assert last_use(i) <= j, (i, j, uses, out)

@@ -1,0 +1,96 @@
+"""Exhaustive semantic checks of the CNF cardinality encodings.
+
+The sequential at-most-one encoding introduces auxiliary variables; these
+tests verify, by full enumeration over the *original* variables, that the
+constraint accepts exactly the assignments with <= 1 (or == 1) true
+literals — i.e. the auxiliaries never exclude a legal assignment and never
+admit an illegal one.
+"""
+
+import itertools
+
+import pytest
+
+from repro.sat import CNF, CdclSolver
+
+
+def _projectable(cnf, xs, assignment):
+    """Is the formula satisfiable with xs fixed to the given booleans?"""
+    assumptions = [x if value else -x for x, value in zip(xs, assignment)]
+    return CdclSolver().solve(cnf, assumptions=assumptions).satisfiable
+
+
+class TestAtMostOneSemantics:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 7, 8, 10])
+    def test_exact_projection(self, n):
+        cnf = CNF()
+        xs = [cnf.new_var() for _ in range(n)]
+        cnf.at_most_one(xs)
+        for bits in itertools.product([False, True], repeat=n):
+            want = sum(bits) <= 1
+            got = _projectable(cnf, xs, bits)
+            assert got == want, bits
+
+    @pytest.mark.parametrize("n", [2, 4, 7, 9])
+    def test_exactly_one_projection(self, n):
+        cnf = CNF()
+        xs = [cnf.new_var() for _ in range(n)]
+        cnf.exactly_one(xs)
+        for bits in itertools.product([False, True], repeat=n):
+            want = sum(bits) == 1
+            got = _projectable(cnf, xs, bits)
+            assert got == want, bits
+
+    def test_singleton_no_clauses(self):
+        cnf = CNF()
+        x = cnf.new_var()
+        cnf.at_most_one([x])
+        assert len(cnf) == 0
+
+    def test_empty_no_clauses(self):
+        cnf = CNF()
+        cnf.at_most_one([])
+        assert len(cnf) == 0
+
+    def test_sequential_encoding_is_linear(self):
+        cnf = CNF()
+        xs = [cnf.new_var() for _ in range(50)]
+        cnf.at_most_one(xs)
+        # Pairwise would be 1225 clauses; sequential is ~3n.
+        assert len(cnf) < 200
+
+
+class TestIffOr:
+    def test_definition_both_directions(self):
+        cnf = CNF()
+        a, b, c = (cnf.new_var() for _ in range(3))
+        cnf.iff_or(a, [b, c])
+        for bits in itertools.product([False, True], repeat=3):
+            va, vb, vc = bits
+            want = va == (vb or vc)
+            got = _projectable(cnf, [a, b, c], bits)
+            assert got == want, bits
+
+    def test_empty_disjunction_forces_false(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        cnf.iff_or(a, [])
+        assert _projectable(cnf, [a], [False])
+        assert not _projectable(cnf, [a], [True])
+
+
+class TestImplications:
+    def test_implies_all(self):
+        cnf = CNF()
+        a, b, c = (cnf.new_var() for _ in range(3))
+        cnf.implies_all(a, [b, c])
+        assert not _projectable(cnf, [a, b], [True, False])
+        assert _projectable(cnf, [a, b, c], [True, True, True])
+        assert _projectable(cnf, [a], [False])
+
+    def test_implies_or(self):
+        cnf = CNF()
+        a, b, c = (cnf.new_var() for _ in range(3))
+        cnf.implies_or(a, [b, c])
+        assert not _projectable(cnf, [a, b, c], [True, False, False])
+        assert _projectable(cnf, [a, b, c], [True, False, True])

@@ -1,0 +1,303 @@
+"""Tests for the input language: lexing/parsing and translation to GMAs."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    DoLoop,
+    GMA,
+    LangError,
+    Semi,
+    VarDecl,
+    parse_program,
+    translate_procedure,
+)
+from repro.lang.translate import TranslationError, expr_to_term, unroll_loop
+from repro.terms import Memory, Sort, const, evaluate, inp, mk
+
+
+class TestGMA:
+    def test_targets_values_must_align(self):
+        with pytest.raises(ValueError):
+            GMA(("a", "b"), (inp("x"),))
+
+    def test_targets_must_be_distinct(self):
+        with pytest.raises(ValueError):
+            GMA(("a", "a"), (inp("x"), inp("y")))
+
+    def test_goal_terms_include_guard(self):
+        g = GMA(("a",), (inp("b"),), guard=mk("cmpult", inp("a"), inp("n")))
+        assert len(g.goal_terms()) == 2
+
+    def test_apply_simultaneous(self):
+        # (a, b) := (b, a) swaps.
+        g = GMA(("a", "b"), (inp("b"), inp("a")))
+        out = g.apply({"a": 1, "b": 2})
+        assert out["a"] == 2 and out["b"] == 1
+
+    def test_apply_memory(self):
+        g = GMA(
+            ("M",),
+            (mk("store", inp("M", Sort.MEM), inp("p"), const(7)),),
+        )
+        out = g.apply({"M": Memory(), "p": 64})
+        assert out["M"].select(64) == 7
+
+    def test_pretty(self):
+        g = GMA(("a",), (const(1),))
+        assert ":=" in g.pretty()
+
+
+class TestParser:
+    def test_procdecl(self):
+        prog = parse_program(
+            r"(\procdecl f ((a long)) long (:= (\res (+ a 1))))"
+        )
+        proc = prog.procedure("f")
+        assert proc.params == [("a", "long")]
+        assert isinstance(proc.body, Assign)
+
+    def test_pointer_sort(self):
+        prog = parse_program(
+            r"(\procdecl f ((p (\ref long))) long (:= (\res (\deref p))))"
+        )
+        assert prog.procedure("f").params[0][1] == "ref long"
+
+    def test_opdecl_extends_registry(self):
+        prog = parse_program(
+            r"""
+            (\opdecl myop (long long) long)
+            (\procdecl f ((a long)) long (:= (\res (myop a a))))
+            """
+        )
+        assert "myop" in prog.registry
+
+    def test_axiom_in_program(self):
+        prog = parse_program(
+            r"""
+            (\opdecl carry (long long) long)
+            (\axiom (forall (a b) (pats (carry a b))
+                (eq (carry a b) (\cmpult (\add64 a b) a))))
+            """
+        )
+        assert len(prog.axioms) == 1
+
+    def test_var_with_init(self):
+        prog = parse_program(
+            r"(\procdecl f ((a long)) long (\var (r long 0) (:= (\res r))))"
+        )
+        body = prog.procedure("f").body
+        assert isinstance(body, VarDecl)
+        assert body.init == 0
+
+    def test_do_loop(self):
+        prog = parse_program(
+            r"""(\procdecl f ((a long) (n long)) long
+                 (\semi
+                   (\do (-> (< a n) (:= (a (+ a 1)))))
+                   (:= (\res a))))"""
+        )
+        body = prog.procedure("f").body
+        assert isinstance(body, Semi)
+        assert isinstance(body.statements[0], DoLoop)
+
+    def test_unroll_annotation(self):
+        prog = parse_program(
+            r"""(\procdecl f ((a long) (n long)) long
+                 (\semi
+                   (\unroll 4 (\do (-> (< a n) (:= (a (+ a 1))))))
+                   (:= (\res a))))"""
+        )
+        loop = prog.procedure("f").body.statements[0]
+        assert loop.unroll == 4
+
+    def test_unroll_must_wrap_do(self):
+        with pytest.raises(LangError):
+            parse_program(
+                r"(\procdecl f ((a long)) long (\unroll 2 (:= (\res a))))"
+            )
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(LangError):
+            parse_program(r"(\procdecl f ((a long)) long (\frob a))")
+
+    def test_unknown_toplevel_rejected(self):
+        with pytest.raises(LangError):
+            parse_program(r"(\blah x)")
+
+    def test_unknown_sort_rejected(self):
+        with pytest.raises(LangError):
+            parse_program(r"(\procdecl f ((a quux)) long (:= (\res a)))")
+
+    def test_missing_procedure_lookup(self):
+        prog = parse_program(r"(\procdecl f ((a long)) long (:= (\res a)))")
+        with pytest.raises(KeyError):
+            prog.procedure("g")
+
+
+class TestExpressions:
+    def _term(self, src, **vars_):
+        from repro.lang.translate import _State
+        from repro.axioms.sexpr import parse_sexprs
+        from repro.terms.ops import default_registry
+
+        state = _State(default_registry())
+        for name in vars_ or ["a"]:
+            state.vars[name] = inp(name)
+        if not vars_:
+            state.vars["a"] = inp("a")
+        return expr_to_term(parse_sexprs(src)[0], state)
+
+    def test_arithmetic_sugar(self):
+        t = self._term("(+ a 1)", a=True)
+        assert t is mk("add64", inp("a"), const(1))
+
+    def test_shift_sugar(self):
+        assert self._term("(<< a 3)", a=True) is mk("sll", inp("a"), const(3))
+
+    def test_comparison_sugar(self):
+        t = self._term("(< a 10)", a=True)
+        assert t.op == "cmpult"
+
+    def test_unary_minus(self):
+        assert self._term("(- a)", a=True).op == "neg64"
+
+    def test_backslash_op(self):
+        t = self._term(r"(\extbl a 2)", a=True)
+        assert t.op == "extbl"
+
+    def test_cast_short_masks(self):
+        t = self._term(r"(\cast short a)", a=True)
+        assert evaluate(t, {"a": 0x12345678}) == 0x5678
+
+    def test_cast_int_sign_extends(self):
+        t = self._term(r"(\cast int a)", a=True)
+        assert evaluate(t, {"a": 0x80000000}) == 0xFFFFFFFF80000000
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(TranslationError):
+            self._term("(+ b 1)", a=True)
+
+    def test_deref_uses_memory(self):
+        t = self._term(r"(\deref a)", a=True)
+        assert t.op == "select"
+        assert t.args[0] is inp("M", Sort.MEM)
+
+
+class TestTranslation:
+    def test_straight_line_single_gma(self):
+        prog = parse_program(
+            r"(\procdecl f ((a long)) long (:= (\res (+ (* a 4) 1))))"
+        )
+        gmas = translate_procedure(prog.procedure("f"), prog.registry)
+        assert len(gmas) == 1
+        label, gma = gmas[0]
+        assert label == "f.tail"
+        assert gma.targets == ("\\res",)
+        assert gma.newvals[0] is mk(
+            "add64", mk("mul64", inp("a"), const(4)), const(1)
+        )
+
+    def test_sequential_assignments_compose(self):
+        prog = parse_program(
+            r"""(\procdecl f ((a long)) long
+                 (\semi (:= (a (+ a 1))) (:= (\res (* a 2)))))"""
+        )
+        _, gma = translate_procedure(prog.procedure("f"), prog.registry)[0]
+        assert evaluate(gma.newvals[0], {"a": 10}) == 22
+
+    def test_simultaneous_assignment(self):
+        prog = parse_program(
+            r"""(\procdecl f ((a long) (b long)) long
+                 (\semi (:= (a b) (b a)) (:= (\res (- a b)))))"""
+        )
+        _, gma = translate_procedure(prog.procedure("f"), prog.registry)[0]
+        # After the swap, a=b0, b=a0, so res = b0 - a0.
+        assert evaluate(gma.newvals[0], {"a": 3, "b": 10}) == 7
+
+    def test_loop_becomes_guarded_gma(self):
+        prog = parse_program(
+            r"""(\procdecl f ((a long) (n long)) long
+                 (\semi
+                   (\do (-> (< a n) (:= (a (+ a 1)))))
+                   (:= (\res a))))"""
+        )
+        gmas = dict(translate_procedure(prog.procedure("f"), prog.registry))
+        loop = gmas["f.loop0"]
+        assert loop.guard is not None
+        assert loop.targets == ("a",)
+        assert evaluate(loop.newvals[0], {"a": 5}) == 6
+
+    def test_unrolled_loop_composes_iterations(self):
+        prog = parse_program(
+            r"""(\procdecl f ((a long) (n long)) long
+                 (\semi
+                   (\unroll 3 (\do (-> (< a n) (:= (a (+ a 2))))))
+                   (:= (\res a))))"""
+        )
+        gmas = dict(translate_procedure(prog.procedure("f"), prog.registry))
+        assert evaluate(gmas["f.loop0"].newvals[0], {"a": 0}) == 6
+
+    def test_pointer_store_targets_memory(self):
+        prog = parse_program(
+            r"""(\procdecl f ((p (\ref long)) (x long)) long
+                 (\semi (:= ((\deref p) x)) (:= (\res x))))"""
+        )
+        gmas = dict(translate_procedure(prog.procedure("f"), prog.registry))
+        tail = gmas["f.tail"]
+        assert "M" in tail.targets
+        mem_val = tail.newvals[tail.targets.index("M")]
+        assert mem_val.op == "store"
+
+    def test_copy_loop_section3_example(self):
+        """The paper's copy-routine GMA: p<r -> (*p,p,q) := (*q,p+8,q+8)."""
+        prog = parse_program(
+            r"""(\procdecl copy ((p (\ref long)) (q (\ref long)) (r (\ref long))) long
+                 (\semi
+                   (\do (-> (< p r)
+                     (\semi
+                       (:= ((\deref p) (\deref q)))
+                       (:= (p (+ p 8)) (q (+ q 8))))))
+                   (:= (\res 0))))"""
+        )
+        gmas = dict(translate_procedure(prog.procedure("copy"), prog.registry))
+        loop = gmas["copy.loop0"]
+        assert set(loop.targets) == {"M", "p", "q"}
+        mem_val = loop.newvals[loop.targets.index("M")]
+        # M := store(M, p, select(M, q))
+        assert mem_val.op == "store"
+        assert mem_val.args[2].op == "select"
+
+    def test_setbyte_target(self):
+        prog = parse_program(
+            r"""(\procdecl bs ((a long)) long
+                 (\var (r long 0)
+                 (\semi
+                   (:= ((\setbyte r 0) (\selectb a 3)))
+                   (:= ((\setbyte r 3) (\selectb a 0)))
+                   (:= (\res r)))))"""
+        )
+        _, gma = translate_procedure(prog.procedure("bs"), prog.registry)[0]
+        v = evaluate(gma.newvals[0], {"a": 0x04030201})
+        assert v == 0x01000004  # byte0 = a<3>, byte3 = a<0>
+
+    def test_res_in_loop_rejected(self):
+        prog = parse_program(
+            r"""(\procdecl f ((a long) (n long)) long
+                 (\do (-> (< a n) (:= (\res a)))))"""
+        )
+        with pytest.raises(TranslationError):
+            translate_procedure(prog.procedure("f"), prog.registry)
+
+    def test_empty_procedure_rejected(self):
+        prog = parse_program(
+            r"(\procdecl f ((a long)) long (\semi))"
+        )
+        with pytest.raises(TranslationError):
+            translate_procedure(prog.procedure("f"), prog.registry)
+
+    def test_unroll_helper(self):
+        loop = DoLoop(guard=["<", "a", "n"], body=Semi([]))
+        assert unroll_loop(loop, 4).unroll == 4
+        with pytest.raises(TranslationError):
+            unroll_loop(loop, 0)

@@ -1,0 +1,263 @@
+"""Tests for E-matching and the saturation engine."""
+
+import pytest
+
+from repro.axioms import (
+    AxiomSet,
+    alpha_axioms,
+    constant_synthesis_axioms,
+    math_axioms,
+    parse_axiom,
+    parse_axiom_file,
+    parse_sexprs,
+)
+from repro.egraph import EGraph, InconsistentError
+from repro.matching import (
+    SaturationConfig,
+    SaturationEngine,
+    ematch,
+    ematch_all,
+    instantiate,
+    saturate,
+)
+from repro.axioms.axiom import Pattern
+from repro.terms import Sort, const, default_registry, inp, mk
+
+
+def _axioms(text):
+    return parse_axiom_file(text)
+
+
+class TestEMatch:
+    def test_variable_matches_any_class(self):
+        eg = EGraph()
+        c = eg.add_term(inp("a"))
+        subs = list(ematch(eg, Pattern.variable("x"), c))
+        assert subs == [{"x": eg.find(c)}]
+
+    def test_constant_pattern_matches_value(self):
+        eg = EGraph()
+        c4 = eg.add_term(const(4))
+        assert list(ematch(eg, Pattern.constant(4), c4)) == [{}]
+        assert list(ematch(eg, Pattern.constant(5), c4)) == []
+
+    def test_application_match(self):
+        eg = EGraph()
+        c = eg.add_term(mk("add64", inp("a"), const(1)))
+        pat = Pattern.apply("add64", Pattern.variable("x"), Pattern.constant(1))
+        subs = list(ematch(eg, pat, c))
+        assert len(subs) == 1
+        assert subs[0]["x"] == eg.find(eg.add_term(inp("a")))
+
+    def test_nonlinear_pattern_requires_same_class(self):
+        eg = EGraph()
+        xx = eg.add_term(mk("add64", inp("a"), inp("a")))
+        xy = eg.add_term(mk("add64", inp("a"), inp("b")))
+        pat = Pattern.apply("add64", Pattern.variable("x"), Pattern.variable("x"))
+        assert len(list(ematch(eg, pat, xx))) == 1
+        assert len(list(ematch(eg, pat, xy))) == 0
+
+    def test_nonlinear_matches_after_merge(self):
+        eg = EGraph()
+        xy = eg.add_term(mk("add64", inp("a"), inp("b")))
+        pat = Pattern.apply("add64", Pattern.variable("x"), Pattern.variable("x"))
+        eg.merge(eg.add_term(inp("a")), eg.add_term(inp("b")))
+        assert len(list(ematch(eg, pat, xy))) == 1
+
+    def test_match_through_equivalence(self):
+        """The Figure 2 trick: k * 2**n matches reg6 * 4 via 4 = 2**2."""
+        eg = EGraph()
+        goal = eg.add_term(mk("mul64", inp("reg6"), const(4)))
+        pow22 = eg.add_term(mk("pow", const(2), const(2)))
+        pat = Pattern.apply(
+            "mul64",
+            Pattern.variable("k"),
+            Pattern.apply("pow", Pattern.constant(2), Pattern.variable("n")),
+        )
+        assert list(ematch(eg, pat, goal)) == []  # before the merge
+        eg.merge(pow22, eg.add_term(const(4)))
+        subs = list(ematch(eg, pat, goal))
+        assert len(subs) == 1
+        assert eg.const_of(subs[0]["n"]) == 2
+
+    def test_ematch_all_uses_head_operator(self):
+        eg = EGraph()
+        eg.add_term(mk("add64", inp("a"), const(1)))
+        eg.add_term(mk("add64", inp("b"), const(2)))
+        eg.add_term(mk("sub64", inp("a"), const(1)))
+        pat = Pattern.apply("add64", Pattern.variable("x"), Pattern.variable("y"))
+        assert len(ematch_all(eg, pat)) == 2
+
+    def test_ematch_all_respects_limit(self):
+        eg = EGraph()
+        for i in range(10):
+            eg.add_term(mk("not64", inp("v%d" % i)))
+        pat = Pattern.apply("not64", Pattern.variable("x"))
+        assert len(ematch_all(eg, pat, limit=3)) == 3
+
+    def test_ematch_all_rejects_leaf_trigger(self):
+        eg = EGraph()
+        with pytest.raises(ValueError):
+            ematch_all(eg, Pattern.variable("x"))
+
+
+class TestInstantiate:
+    def test_builds_enodes(self):
+        eg = EGraph()
+        a = eg.add_term(inp("a"))
+        pat = Pattern.apply("add64", Pattern.variable("x"), Pattern.constant(0))
+        cid = instantiate(eg, pat, {"x": a}, default_registry())
+        expected = eg.add_term(mk("add64", inp("a"), const(0)))
+        assert eg.are_equal(cid, expected)
+
+    def test_sort_mismatch_returns_none(self):
+        eg = EGraph()
+        m = eg.add_term(inp("M", Sort.MEM))
+        pat = Pattern.apply("add64", Pattern.variable("x"), Pattern.constant(0))
+        assert instantiate(eg, pat, {"x": m}, default_registry()) is None
+
+
+class TestSaturation:
+    def test_identity_axiom_merges(self):
+        eg = EGraph()
+        c = eg.add_term(mk("add64", inp("a"), const(0)))
+        saturate(eg, _axioms(r"(\axiom (forall (x) (pats (\add64 x 0)) (eq (\add64 x 0) x)))"))
+        assert eg.are_equal(c, eg.add_term(inp("a")))
+
+    def test_commutativity_adds_flipped_node(self):
+        eg = EGraph()
+        c = eg.add_term(mk("add64", inp("a"), inp("b")))
+        saturate(eg, _axioms(r"(\axiom (forall (x y) (pats (\add64 x y)) (eq (\add64 x y) (\add64 y x))))"))
+        flipped = eg.add_term(mk("add64", inp("b"), inp("a")))
+        assert eg.are_equal(c, flipped)
+
+    def test_figure2_walkthrough(self):
+        """reg6*4+1 acquires shift-add and s4addq forms (paper Figure 2)."""
+        reg = default_registry()
+        axioms = (
+            math_axioms(reg) + constant_synthesis_axioms(reg) + alpha_axioms(reg)
+        )
+        eg = EGraph()
+        goal = eg.add_term(
+            mk("add64", mk("mul64", inp("reg6"), const(4)), const(1))
+        )
+        stats = saturate(eg, axioms, reg)
+        assert stats.quiescent
+        ops = {n.op for n in eg.enodes(goal)}
+        assert "s4addq" in ops
+        assert "add64" in ops
+
+    def test_constant_folding(self):
+        eg = EGraph()
+        c = eg.add_term(mk("add64", const(2), const(3)))
+        saturate(eg, AxiomSet())
+        assert eg.const_of(c) == 5
+
+    def test_constant_folding_nested(self):
+        eg = EGraph()
+        c = eg.add_term(mk("mul64", mk("add64", const(2), const(2)), const(3)))
+        saturate(eg, AxiomSet())
+        assert eg.const_of(c) == 12
+
+    def test_constant_synthesis_only_for_mul_operands(self):
+        eg = EGraph()
+        mul = eg.add_term(mk("mul64", inp("a"), const(8)))
+        other = eg.add_term(mk("bis", inp("b"), const(16)))
+        stats = saturate(eg, AxiomSet())
+        # 8 (a mul operand) gets a pow node; 16 (a bis operand) does not.
+        eight = eg.add_term(const(8))
+        sixteen = eg.add_term(const(16))
+        assert any(n.op == "pow" for n in eg.enodes(eight))
+        assert not any(n.op == "pow" for n in eg.enodes(sixteen))
+        assert stats.constants_synthesized == 1
+
+    def test_clause_propagation_select_store(self):
+        """The section 5 walkthrough: store then load at p+8 commutes."""
+        reg = default_registry()
+        eg = EGraph()
+        m = inp("M", Sort.MEM)
+        p = inp("p")
+        load = mk(
+            "select",
+            mk("store", m, p, inp("x")),
+            mk("add64", p, const(8)),
+        )
+        c_load = eg.add_term(load)
+        direct = eg.add_term(mk("select", m, mk("add64", p, const(8))))
+        # p != p+8 must be discoverable: assert it as a program fact
+        # (the paper says "by mechanisms we will not describe").
+        axioms = _axioms(
+            r"""
+            (\axiom (forall (a i j x) (pats (\select (\store a i x) j))
+                (or (eq i j)
+                    (eq (\select (\store a i x) j) (\select a j)))))
+            (\axiom (forall (q) (pats (\add64 q 8)) (neq (\add64 q 8) q)))
+            """
+        )
+        stats = saturate(eg, axioms, reg)
+        assert eg.are_equal(c_load, direct)
+        assert stats.clause_assertions >= 1
+
+    def test_clause_untenable_all_literals_raises(self):
+        eg = EGraph()
+        a, b = eg.add_term(inp("a")), eg.add_term(inp("b"))
+        axioms = _axioms(
+            r"""
+            (\axiom (forall (x) (pats (\not64 x)) (neq (\not64 x) (\not64 x))))
+            """
+        )
+        eg.add_term(mk("not64", inp("a")))
+        engine = SaturationEngine(eg, axioms)
+        with pytest.raises(InconsistentError):
+            engine.run()
+
+    def test_round_budget_stops(self):
+        # Associativity on a long chain cannot finish in one round.
+        reg = default_registry()
+        eg = EGraph()
+        t = inp("x0")
+        for i in range(1, 8):
+            t = mk("add64", t, inp("x%d" % i))
+        eg.add_term(t)
+        axioms = math_axioms(reg).relevant_to({"add64"})
+        stats = saturate(eg, axioms, reg, SaturationConfig(max_rounds=1))
+        assert stats.rounds == 1
+        assert not stats.quiescent
+
+    def test_enode_budget_stops(self):
+        reg = default_registry()
+        eg = EGraph()
+        t = inp("x0")
+        for i in range(1, 8):
+            t = mk("add64", t, inp("x%d" % i))
+        eg.add_term(t)
+        axioms = math_axioms(reg).relevant_to({"add64"})
+        stats = saturate(
+            eg, axioms, reg, SaturationConfig(max_rounds=50, max_enodes=60)
+        )
+        assert not stats.quiescent
+        assert stats.enodes >= 60
+
+    def test_instances_deduplicated(self):
+        eg = EGraph()
+        eg.add_term(mk("add64", inp("a"), inp("b")))
+        axioms = _axioms(
+            r"(\axiom (forall (x y) (pats (\add64 x y)) (eq (\add64 x y) (\add64 y x))))"
+        )
+        engine = SaturationEngine(eg, axioms)
+        engine.run()
+        first = engine.stats.instances_asserted
+        assert first == 2  # (a,b) and its flip (b,a); both recorded once
+        engine.run()
+        assert engine.stats.instances_asserted == first  # nothing new
+
+    def test_all_constant_instances_skipped(self):
+        eg = EGraph()
+        eg.add_term(mk("add64", const(3), const(4)))
+        axioms = _axioms(
+            r"(\axiom (forall (x y) (pats (\add64 x y)) (eq (\add64 x y) (\add64 y x))))"
+        )
+        stats = saturate(eg, axioms)
+        # Folding handles the ground term; no commuted ground node appears.
+        assert stats.instances_asserted == 0
+        assert stats.constants_folded == 1

@@ -1,0 +1,188 @@
+"""Tests for assembly rendering (the Figure 4 output format)."""
+
+import pytest
+
+from repro.core.extraction import Operand, Schedule, ScheduledInstruction
+from repro.egraph.egraph import ENode
+
+
+def _instr(op, mnemonic, operands, dest, cycle=0, unit="U0", comment=""):
+    return ScheduledInstruction(
+        cycle=cycle,
+        unit=unit,
+        node=ENode(op, (), None, None),
+        class_id=0,
+        mnemonic=mnemonic,
+        operands=operands,
+        dest=dest,
+        comment=comment,
+    )
+
+
+class TestOperandRender:
+    def test_register(self):
+        assert Operand(0, register="$5").render() == "$5"
+
+    def test_literal(self):
+        assert Operand(0, literal=42).render() == "42"
+
+    def test_memory(self):
+        assert Operand(0, memory=True).render() == "<mem>"
+
+
+class TestInstructionRender:
+    def test_three_operand_alu(self):
+        i = _instr(
+            "add64",
+            "addq",
+            [Operand(0, register="$16"), Operand(0, literal=1)],
+            "$1",
+        )
+        assert i.render().startswith("addq $16, 1, $1")
+        assert "# 0, U0" in i.render()
+
+    def test_load_form(self):
+        i = _instr(
+            "select",
+            "ldq",
+            [Operand(0, memory=True), Operand(0, register="$16")],
+            "$2",
+        )
+        assert i.render().startswith("ldq $2, 0($16)")
+
+    def test_store_form(self):
+        i = _instr(
+            "store",
+            "stq",
+            [
+                Operand(0, memory=True),
+                Operand(0, register="$16"),
+                Operand(0, register="$3"),
+            ],
+            None,
+        )
+        assert i.render().startswith("stq $3, 0($16)")
+
+    def test_ldiq_form(self):
+        i = _instr("ldiq", "ldiq", [Operand(0, literal=0xBEEF)], "$4")
+        assert i.render().startswith("ldiq $4, 48879")
+
+    def test_comment_appended(self):
+        i = _instr(
+            "add64",
+            "addq",
+            [Operand(0, register="$16"), Operand(0, literal=1)],
+            "$1",
+            comment="(add64 a 1)",
+        )
+        assert i.render().endswith("; (add64 a 1)")
+
+    def test_cycle_and_unit_annotation(self):
+        i = _instr(
+            "sll",
+            "sll",
+            [Operand(0, register="$1"), Operand(0, literal=2)],
+            "$2",
+            cycle=3,
+            unit="U1",
+        )
+        assert "# 3, U1" in i.render()
+
+
+class TestScheduleRender:
+    def test_register_map_header(self):
+        sched = Schedule(
+            instructions=[],
+            cycles=1,
+            register_map={"a": "$16", "0": "$31"},
+            goal_operands=[],
+        )
+        out = sched.render()
+        assert out.startswith("// Register Map: {0=$31, a=$16}")
+        assert "code:" in out
+
+    def test_custom_label(self):
+        sched = Schedule(
+            instructions=[],
+            cycles=2,
+            register_map={},
+            goal_operands=[],
+        )
+        assert "byteswap4:" in sched.render(label="byteswap4")
+
+    def test_cycle_count_footer(self):
+        sched = Schedule(
+            instructions=[],
+            cycles=5,
+            register_map={},
+            goal_operands=[],
+        )
+        assert "// 5 cycles" in sched.render()
+
+    def test_instruction_count(self):
+        i = _instr(
+            "add64",
+            "addq",
+            [Operand(0, register="$16"), Operand(0, literal=1)],
+            "$1",
+        )
+        sched = Schedule(
+            instructions=[i, i],
+            cycles=2,
+            register_map={},
+            goal_operands=[],
+        )
+        assert sched.instruction_count() == 2
+
+
+class TestQuadRender:
+    def test_nops_fill_issue_slots(self):
+        from repro.isa import ev6
+
+        i = _instr(
+            "add64",
+            "addq",
+            [Operand(0, register="$16"), Operand(0, literal=1)],
+            "$1",
+            cycle=0,
+            unit="L0",
+        )
+        sched = Schedule(
+            instructions=[i],
+            cycles=2,
+            register_map={"a": "$16"},
+            goal_operands=[],
+        )
+        out = sched.render_quad(ev6(), label="demo")
+        # Cycle 0: 1 real + 3 nops; cycle 1: 4 nops.
+        assert out.count("nop") == 7
+        assert "demo:" in out
+
+    def test_unit_order_matches_spec(self):
+        from repro.isa import ev6
+
+        lower = _instr(
+            "bis",
+            "bis",
+            [Operand(0, register="$16"), Operand(0, literal=1)],
+            "$1",
+            cycle=0,
+            unit="L0",
+        )
+        upper = _instr(
+            "sll",
+            "sll",
+            [Operand(0, register="$16"), Operand(0, literal=1)],
+            "$2",
+            cycle=0,
+            unit="U0",
+        )
+        sched = Schedule(
+            instructions=[lower, upper],
+            cycles=1,
+            register_map={},
+            goal_operands=[],
+        )
+        out = sched.render_quad(ev6())
+        # U0 prints before L0, as in Figure 4's unit ordering.
+        assert out.index("sll") < out.index("bis")

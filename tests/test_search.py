@@ -1,0 +1,88 @@
+"""Tests for the cycle-budget search."""
+
+import pytest
+
+from repro.core.search import (
+    Probe,
+    SearchOutcome,
+    SearchStrategy,
+    search_min_cycles,
+)
+
+
+def _oracle(threshold, record=None, unknown_at=()):
+    """A probe that is SAT iff k >= threshold."""
+
+    def probe(k):
+        if record is not None:
+            record.append(k)
+        if k in unknown_at:
+            return None, None, Probe(cycles=k, satisfiable=None)
+        sat = k >= threshold
+        return sat, ("model", k) if sat else None, Probe(cycles=k, satisfiable=sat)
+
+    return probe
+
+
+class TestBinarySearch:
+    @pytest.mark.parametrize("threshold", [1, 3, 5, 8, 12])
+    def test_finds_minimum(self, threshold):
+        out = search_min_cycles(_oracle(threshold), 1, 12)
+        assert out.best_cycles == threshold
+        assert out.best_payload == ("model", threshold)
+
+    @pytest.mark.parametrize("threshold", [2, 5, 9])
+    def test_proves_optimality(self, threshold):
+        out = search_min_cycles(_oracle(threshold), 1, 12)
+        assert out.optimal
+        assert out.proved_floor == threshold - 1
+
+    def test_all_unsat(self):
+        out = search_min_cycles(_oracle(100), 1, 12)
+        assert out.best_cycles is None
+        assert out.proved_floor == 12
+
+    def test_all_sat(self):
+        out = search_min_cycles(_oracle(1), 1, 12)
+        assert out.best_cycles == 1
+        assert out.optimal  # floor is lo-1 = 0
+
+    def test_probe_count_logarithmic(self):
+        calls = []
+        search_min_cycles(_oracle(7, record=calls), 1, 64)
+        assert len(calls) <= 8
+
+    def test_unknown_probes_degrade_gracefully(self):
+        out = search_min_cycles(_oracle(5, unknown_at={4}), 1, 12)
+        assert out.best_cycles == 5
+        # Optimality cannot be claimed: K=4 was never refuted.
+        assert not out.optimal
+
+    def test_probes_recorded(self):
+        out = search_min_cycles(_oracle(3), 1, 8)
+        assert all(isinstance(p, Probe) for p in out.probes)
+        assert len(out.probes) >= 3
+
+
+class TestLinearSearch:
+    def test_finds_minimum(self):
+        calls = []
+        out = search_min_cycles(
+            _oracle(4, record=calls), 1, 12, SearchStrategy.LINEAR
+        )
+        assert out.best_cycles == 4
+        assert calls == [1, 2, 3, 4]
+        assert out.optimal
+
+    def test_stops_at_hi(self):
+        out = search_min_cycles(_oracle(100), 1, 5, SearchStrategy.LINEAR)
+        assert out.best_cycles is None
+        assert out.proved_floor == 5
+
+
+class TestValidation:
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            search_min_cycles(_oracle(1), 0, 5)
+        with pytest.raises(ValueError):
+            search_min_cycles(_oracle(1), 5, 4)

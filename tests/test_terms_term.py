@@ -1,0 +1,187 @@
+"""Tests for hash-consed terms, the operator registry and the evaluator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.terms import (
+    EvalError,
+    Memory,
+    OperatorRegistry,
+    Sort,
+    Term,
+    TermError,
+    const,
+    default_registry,
+    evaluate,
+    inp,
+    mk,
+    subterms,
+    term_depth,
+    term_size,
+)
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestInterning:
+    def test_const_interned(self):
+        assert const(4) is const(4)
+
+    def test_const_wraps_mod_2_64(self):
+        assert const(-1) is const((1 << 64) - 1)
+
+    def test_input_interned(self):
+        assert inp("a") is inp("a")
+
+    def test_application_interned(self):
+        t1 = mk("add64", inp("a"), const(1))
+        t2 = mk("add64", inp("a"), const(1))
+        assert t1 is t2
+
+    def test_different_ops_differ(self):
+        assert mk("add64", inp("a"), const(1)) is not mk(
+            "sub64", inp("a"), const(1)
+        )
+
+    def test_input_sorts_distinguish(self):
+        assert inp("m", Sort.MEM) is not inp("m", Sort.INT)
+
+
+class TestSortChecking:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(TermError):
+            mk("add64", inp("a"))
+
+    def test_wrong_sort_rejected(self):
+        with pytest.raises(TermError):
+            mk("add64", inp("m", Sort.MEM), const(1))
+
+    def test_select_requires_memory(self):
+        with pytest.raises(TermError):
+            mk("select", inp("a"), const(0))
+
+    def test_select_ok_with_memory(self):
+        t = mk("select", inp("M", Sort.MEM), inp("p"))
+        assert t.sort == Sort.INT
+
+    def test_store_has_memory_sort(self):
+        t = mk("store", inp("M", Sort.MEM), inp("p"), const(0))
+        assert t.sort == Sort.MEM
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(KeyError):
+            mk("frobnicate", inp("a"))
+
+    def test_const_requires_int(self):
+        with pytest.raises(TermError):
+            const("four")
+
+    def test_non_term_argument_rejected(self):
+        with pytest.raises(TermError):
+            mk("add64", inp("a"), 1)
+
+
+class TestRegistry:
+    def test_declare_local_op(self):
+        reg = default_registry()
+        reg.declare("carry", (Sort.INT, Sort.INT), Sort.INT)
+        t = mk("carry", inp("a"), inp("b"), registry=reg)
+        assert t.op == "carry"
+
+    def test_redeclare_same_signature_ok(self):
+        reg = default_registry()
+        reg.declare("carry", (Sort.INT, Sort.INT), Sort.INT)
+        reg.declare("carry", (Sort.INT, Sort.INT), Sort.INT)
+
+    def test_redeclare_conflicting_rejected(self):
+        reg = default_registry()
+        reg.declare("carry", (Sort.INT, Sort.INT), Sort.INT)
+        with pytest.raises(ValueError):
+            reg.declare("carry", (Sort.INT,), Sort.INT)
+
+    def test_copy_isolates_declarations(self):
+        reg = default_registry()
+        reg2 = reg.copy()
+        reg2.declare("local", (Sort.INT,), Sort.INT)
+        assert "local" in reg2
+        assert "local" not in reg
+
+    def test_commutativity_flags(self):
+        reg = default_registry()
+        assert reg.get("add64").commutative
+        assert not reg.get("sub64").commutative
+
+
+class TestTraversal:
+    def test_subterms_includes_all(self):
+        t = mk("add64", mk("mul64", inp("a"), const(4)), const(1))
+        names = {s.op for s in subterms(t)}
+        assert names == {"add64", "mul64", "input", "const"}
+
+    def test_term_size_shares_dag_nodes(self):
+        a = inp("a")
+        double = mk("add64", a, a)
+        assert term_size(double) == 2
+
+    def test_term_depth(self):
+        t = mk("add64", mk("mul64", inp("a"), const(4)), const(1))
+        assert term_depth(t) == 3
+
+    def test_depth_of_leaf(self):
+        assert term_depth(const(0)) == 1
+
+
+class TestPretty:
+    def test_pretty_sexpr(self):
+        t = mk("add64", mk("mul64", inp("reg6"), const(4)), const(1))
+        assert t.pretty() == "(add64 (mul64 reg6 4) 1)"
+
+    def test_pretty_const(self):
+        assert const(7).pretty() == "7"
+
+
+class TestEvaluator:
+    def test_eval_const(self):
+        assert evaluate(const(5), {}) == 5
+
+    def test_eval_input(self):
+        assert evaluate(inp("a"), {"a": 9}) == 9
+
+    def test_eval_missing_input_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(inp("a"), {})
+
+    def test_eval_application(self):
+        t = mk("add64", mk("mul64", inp("a"), const(4)), const(1))
+        assert evaluate(t, {"a": 10}) == 41
+
+    def test_eval_memory_roundtrip(self):
+        m = inp("M", Sort.MEM)
+        p = inp("p")
+        t = mk("select", mk("store", m, p, const(99)), p)
+        assert evaluate(t, {"M": Memory(), "p": 64}) == 99
+
+    def test_eval_uninterpreted_raises(self):
+        reg = default_registry()
+        reg.declare("mystery", (Sort.INT,), Sort.INT)
+        t = mk("mystery", const(1), registry=reg)
+        with pytest.raises(EvalError):
+            evaluate(t, {}, registry=reg)
+
+    @given(u64, u64)
+    def test_eval_matches_semantics(self, a, b):
+        t = mk("add64", inp("x"), inp("y"))
+        assert evaluate(t, {"x": a, "y": b}) == (a + b) % (1 << 64)
+
+    def test_eval_shared_subterm_memoised(self):
+        # A chain of doublings evaluates in linear time thanks to memoising.
+        t = inp("a")
+        for _ in range(200):
+            t = mk("add64", t, t)
+        assert evaluate(t, {"a": 1}) == pow(2, 200, 1 << 64)
+
+    def test_eval_zero_result_cached(self):
+        t = mk("sub64", inp("a"), inp("a"))
+        outer = mk("add64", t, t)
+        assert evaluate(outer, {"a": 3}) == 0

@@ -1,0 +1,251 @@
+"""Unit and property tests for the 64-bit Alpha reference semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.terms import values as V
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestConversions:
+    def test_to_unsigned_wraps(self):
+        assert V.to_unsigned(-1) == V.M64
+
+    def test_to_signed_negative(self):
+        assert V.to_signed(V.M64) == -1
+
+    def test_to_signed_positive(self):
+        assert V.to_signed(5) == 5
+
+    @given(u64)
+    def test_signed_unsigned_roundtrip(self, x):
+        assert V.to_unsigned(V.to_signed(x)) == x
+
+    def test_sext_byte(self):
+        assert V.sext(0x80, 8) == V.to_unsigned(-128)
+        assert V.sext(0x7F, 8) == 0x7F
+
+
+class TestArithmetic:
+    @given(u64, u64)
+    def test_add64_matches_python(self, a, b):
+        assert V.add64(a, b) == (a + b) % (1 << 64)
+
+    @given(u64, u64)
+    def test_sub64_inverse_of_add(self, a, b):
+        assert V.sub64(V.add64(a, b), b) == a
+
+    @given(u64)
+    def test_neg64_is_sub_from_zero(self, a):
+        assert V.neg64(a) == V.sub64(0, a)
+
+    @given(u64, u64)
+    def test_umulh_is_high_bits(self, a, b):
+        assert (V.umulh(a, b) << 64) + V.mul64(a, b) == a * b
+
+    def test_addl_sign_extends(self):
+        assert V.addl(0x7FFFFFFF, 1) == V.to_unsigned(-(1 << 31))
+
+    def test_addl_small(self):
+        assert V.addl(2, 3) == 5
+
+    @given(u64, u64)
+    def test_s4addq_definition(self, a, b):
+        assert V.s4addq(a, b) == V.add64(V.mul64(4, a), b)
+
+    @given(u64, u64)
+    def test_s8addq_definition(self, a, b):
+        assert V.s8addq(a, b) == V.add64(V.mul64(8, a), b)
+
+    @given(u64, u64)
+    def test_s4subq_definition(self, a, b):
+        assert V.s4subq(a, b) == V.sub64(V.mul64(4, a), b)
+
+
+class TestLogic:
+    @given(u64, u64)
+    def test_bic_definition(self, a, b):
+        assert V.bic(a, b) == a & V.not64(b)
+
+    @given(u64, u64)
+    def test_ornot_definition(self, a, b):
+        assert V.ornot(a, b) == V.bis(a, V.not64(b))
+
+    @given(u64, u64)
+    def test_eqv_definition(self, a, b):
+        assert V.eqv(a, b) == V.not64(V.xor64(a, b))
+
+    @given(u64)
+    def test_not_involution(self, a):
+        assert V.not64(V.not64(a)) == a
+
+    @given(u64, u64)
+    def test_demorgan(self, a, b):
+        assert V.not64(V.and64(a, b)) == V.bis(V.not64(a), V.not64(b))
+
+
+class TestShifts:
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_sll_matches_python(self, a, n):
+        assert V.sll(a, n) == (a << n) % (1 << 64)
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_srl_matches_python(self, a, n):
+        assert V.srl(a, n) == a >> n
+
+    @given(u64, u64)
+    def test_shift_count_uses_low_six_bits(self, a, n):
+        assert V.sll(a, n) == V.sll(a, n & 63)
+        assert V.srl(a, n) == V.srl(a, n & 63)
+        assert V.sra(a, n) == V.sra(a, n & 63)
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_sra_sign_fills(self, a, n):
+        assert V.sra(a, n) == V.to_unsigned(V.to_signed(a) >> n)
+
+    def test_sra_negative_example(self):
+        assert V.sra(V.to_unsigned(-8), 1) == V.to_unsigned(-4)
+
+
+class TestComparisons:
+    @given(u64, u64)
+    def test_cmpult_unsigned(self, a, b):
+        assert V.cmpult(a, b) == int(a < b)
+
+    @given(u64, u64)
+    def test_cmplt_signed(self, a, b):
+        assert V.cmplt(a, b) == int(V.to_signed(a) < V.to_signed(b))
+
+    def test_cmplt_vs_cmpult_disagree(self):
+        minus_one = V.to_unsigned(-1)
+        assert V.cmplt(minus_one, 0) == 1
+        assert V.cmpult(minus_one, 0) == 0
+
+    @given(u64, u64)
+    def test_cmpule_from_cmpult_and_cmpeq(self, a, b):
+        assert V.cmpule(a, b) == (V.cmpult(a, b) | V.cmpeq(a, b))
+
+
+class TestCmov:
+    @given(u64, u64, u64)
+    def test_cmoveq_cmovne_complementary(self, t, a, b):
+        assert V.cmoveq(t, a, b) == V.cmovne(t, b, a)
+
+    def test_cmovlbs_low_bit(self):
+        assert V.cmovlbs(3, 10, 20) == 10
+        assert V.cmovlbs(2, 10, 20) == 20
+
+
+class TestByteOps:
+    @given(u64, st.integers(min_value=0, max_value=7))
+    def test_extbl_picks_byte(self, w, i):
+        assert V.extbl(w, i) == (w >> (8 * i)) & 0xFF
+
+    @given(u64, st.integers(min_value=0, max_value=7))
+    def test_insbl_then_extbl_roundtrip(self, w, i):
+        assert V.extbl(V.insbl(w, i), i) == w & 0xFF
+
+    @given(u64, st.integers(min_value=0, max_value=7))
+    def test_mskbl_clears_byte(self, w, i):
+        assert V.extbl(V.mskbl(w, i), i) == 0
+
+    @given(u64, st.integers(min_value=0, max_value=7), u64)
+    def test_storeb_selectb_roundtrip(self, w, i, x):
+        assert V.selectb(V.storeb(w, i, x), i) == x & 0xFF
+
+    @given(u64, st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7), u64)
+    def test_storeb_preserves_other_bytes(self, w, i, j, x):
+        if i != j:
+            assert V.selectb(V.storeb(w, i, x), j) == V.selectb(w, j)
+
+    def test_byte_index_wraps_mod_8(self):
+        w = 0x0102030405060708
+        assert V.extbl(w, 9) == V.extbl(w, 1)
+
+    @given(u64)
+    def test_extwl_zero_is_low_word(self, w):
+        assert V.extwl(w, 0) == w & 0xFFFF
+
+    @given(u64, st.integers(min_value=0, max_value=255))
+    def test_zap_zapnot_partition(self, w, m):
+        assert V.zap(w, m) | V.zapnot(w, m) == w
+        assert V.zap(w, m) & V.zapnot(w, m) == 0
+
+    @given(u64, st.integers(min_value=0, max_value=255))
+    def test_zapnot_complement(self, w, m):
+        assert V.zapnot(w, m) == V.zap(w, ~m & 0xFF)
+
+    def test_byteswap_reference(self):
+        w = 0x0000000077787970  # "wxyz" little endian-ish example
+        swapped = 0
+        for i in range(4):
+            swapped = V.storeb(swapped, 3 - i, V.selectb(w, i))
+        assert V.selectb(swapped, 0) == V.selectb(w, 3)
+        assert V.selectb(swapped, 3) == V.selectb(w, 0)
+
+    @given(u64, st.integers(min_value=0, max_value=3))
+    def test_selectw_picks_field(self, w, i):
+        assert V.selectw(w, i) == (w >> (16 * i)) & 0xFFFF
+
+
+class TestSext:
+    def test_sextb(self):
+        assert V.sextb(0xFF) == V.M64
+
+    def test_sextw(self):
+        assert V.sextw(0x8000) == V.to_unsigned(-0x8000)
+
+    @given(u64)
+    def test_sextl_idempotent(self, a):
+        assert V.sextl(V.sextl(a)) == V.sextl(a)
+
+
+class TestMemory:
+    def test_select_default_zero(self):
+        m = V.Memory()
+        assert m.select(0x1000) == 0
+
+    def test_store_is_persistent(self):
+        m0 = V.Memory()
+        m1 = m0.store(8, 42)
+        assert m0.select(8) == 0
+        assert m1.select(8) == 42
+
+    def test_store_overwrites(self):
+        m = V.Memory().store(8, 1).store(8, 2)
+        assert m.select(8) == 2
+
+    def test_base_function(self):
+        m = V.Memory(base=lambda a: a * 2)
+        assert m.select(21) == 42
+
+    def test_store_masks_value(self):
+        m = V.Memory().store(0, -1)
+        assert m.select(0) == V.M64
+
+    @given(u64, u64, u64, u64)
+    def test_select_store_axiom(self, p, q, x, base):
+        m = V.Memory().store(base, 7)
+        m2 = m.store(p, x)
+        if p != q:
+            assert m2.select(q) == m.select(q)
+        assert m2.select(p) == x
+
+    def test_equal_on(self):
+        m1 = V.Memory().store(0, 1).store(8, 2)
+        m2 = V.Memory().store(8, 2).store(0, 1)
+        assert m1.equal_on(m2, [0, 8, 16])
+
+
+class TestPow:
+    def test_pow_small(self):
+        assert V.pow_(2, 2) == 4
+
+    def test_pow_wraps(self):
+        assert V.pow_(2, 64) == 0
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_pow2_is_shift(self, n):
+        assert V.pow_(2, n) == 1 << n

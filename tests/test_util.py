@@ -1,0 +1,47 @@
+"""Tests for shared utilities (table formatting, s-expr rendering)."""
+
+import pytest
+
+from repro.axioms.sexpr import render_sexpr
+from repro.util import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbbb"], [["xxxx", "y"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].startswith("-")
+        # Columns align: the second column starts at the same offset.
+        assert lines[0].index("bbbb") == lines[2].index("y")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_non_string_cells(self):
+        out = format_table(["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert out.splitlines()[0] == "a"
+
+    def test_no_trailing_whitespace(self):
+        out = format_table(["col", "x"], [["a", "b"], ["longer", "c"]])
+        for line in out.splitlines():
+            assert line == line.rstrip()
+
+
+class TestRenderSexpr:
+    def test_atom(self):
+        assert render_sexpr("foo") == "foo"
+
+    def test_int(self):
+        assert render_sexpr(42) == "42"
+
+    def test_nested(self):
+        assert render_sexpr(["a", ["b", 1], "c"]) == "(a (b 1) c)"
+
+    def test_empty_list(self):
+        assert render_sexpr([]) == "()"
