@@ -8,9 +8,13 @@ to see the tables inline, or read ``bench_output.txt``.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro import DenaliConfig, SearchStrategy, const, inp, mk
+from repro.core.session import add_observer, remove_observer
 from repro.matching import SaturationConfig
 
 
@@ -32,6 +36,65 @@ def default_config(max_cycles: int = 8, **kwargs) -> DenaliConfig:
     )
     defaults.update(kwargs)
     return DenaliConfig(**defaults)
+
+
+@pytest.fixture(autouse=True)
+def stage_stats(request):
+    """Collect per-stage session telemetry for every benchmark test.
+
+    Each compilation that finishes during the test announces its
+    :class:`~repro.core.session.StageStats` to this observer; the
+    breakdowns are aggregated per test and dumped to
+    ``bench_stages.json`` at the end of the run (see
+    ``pytest_sessionfinish``).
+    """
+    collected = []
+    add_observer(collected.append)
+    yield collected
+    remove_observer(collected.append)
+    if collected:
+        _STAGE_RECORDS.append(
+            {
+                "test": request.node.nodeid,
+                "sessions": len(collected),
+                "timings": _sum_timings(collected),
+                "cache": _sum_cache(collected),
+                "probes": sum(len(s.probes) for s in collected),
+            }
+        )
+
+
+_STAGE_RECORDS = []
+
+
+def _sum_timings(collected):
+    totals = {}
+    for stats in collected:
+        for stage, seconds in stats.timings.items():
+            totals[stage] = totals.get(stage, 0.0) + seconds
+    return {k: round(v, 6) for k, v in totals.items()}
+
+
+def _sum_cache(collected):
+    totals = {}
+    for stats in collected:
+        for key, value in stats.cache.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def pytest_sessionfinish(session):
+    if not _STAGE_RECORDS:
+        return
+    path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "bench_stages.json"
+    )
+    try:
+        with open(path, "w") as handle:
+            json.dump({"tests": _STAGE_RECORDS}, handle, indent=2)
+            handle.write("\n")
+    except OSError:
+        pass
 
 
 @pytest.fixture

@@ -44,12 +44,17 @@ from repro.isa import ArchSpec, ev6, itanium_like, simple_risc
 from repro.lang import GMA, parse_program, software_pipeline, translate_procedure
 from repro.core import (
     CompilationResult,
+    CompilationSession,
     Denali,
     DenaliConfig,
     ProcedureResult,
     Schedule,
     SearchStrategy,
+    StageStats,
+    add_observer,
     execute_program,
+    global_saturation_cache,
+    remove_observer,
 )
 from repro.sim import execute_schedule, simulate_timing
 from repro.verify import check_schedule
@@ -83,11 +88,16 @@ __all__ = [
     "software_pipeline",
     "translate_procedure",
     "CompilationResult",
+    "CompilationSession",
     "Denali",
     "DenaliConfig",
     "ProcedureResult",
     "Schedule",
     "SearchStrategy",
+    "StageStats",
+    "add_observer",
+    "remove_observer",
+    "global_saturation_cache",
     "execute_program",
     "execute_schedule",
     "simulate_timing",

@@ -71,9 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--strategy",
-        choices=["binary", "linear"],
+        choices=["binary", "linear", "portfolio"],
         default="binary",
-        help="cycle-budget search strategy",
+        help="cycle-budget search strategy (portfolio probes budgets "
+        "concurrently and cancels losers)",
     )
     parser.add_argument(
         "--load-latency",
@@ -103,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="dump each probe's CNF in DIMACS format into DIR",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        default=None,
+        help="write a per-stage JSON report (timings, CNF sizes, cache "
+        "hit/miss counters for every probe) to FILE",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="print assembly only"
@@ -179,6 +187,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     den = Denali(spec, axioms=axioms, registry=program.registry, config=config)
 
+    collected_stats = []
+    if args.stats_json:
+        from repro.core.session import add_observer
+
+        add_observer(collected_stats.append)
+
     procedures = program.procedures
     if args.proc is not None:
         try:
@@ -214,7 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for label, gma in gmas:
             if not args.quiet:
                 print("; === %s: %s" % (label, gma.pretty()))
-            result = den.compile_gma(gma)
+            result = den.compile_gma(gma, label=label)
             if result.schedule is None:
                 print(
                     "; %s: no schedule within %d cycles (floor proved: %d)"
@@ -239,7 +253,51 @@ def main(argv: Optional[List[str]] = None) -> int:
             if result.verified is False:
                 status = 1
             print()
+
+    if args.stats_json:
+        from repro.core.session import remove_observer
+
+        remove_observer(collected_stats.append)
+        try:
+            _write_stats_json(args, collected_stats)
+        except OSError as exc:
+            print("error writing %s: %s" % (args.stats_json, exc),
+                  file=sys.stderr)
+            status = 1
     return status
+
+
+def _write_stats_json(args, collected) -> None:
+    """Aggregate the collected session stats into one JSON report."""
+    import json
+
+    from repro.core.cache import global_axiom_cache, global_saturation_cache
+
+    totals = {}
+    cache_totals = {}
+    for stats in collected:
+        for stage, seconds in stats.timings.items():
+            totals[stage] = totals.get(stage, 0.0) + seconds
+        for key, value in stats.cache.items():
+            cache_totals[key] = cache_totals.get(key, 0) + value
+    report = {
+        "source": args.source,
+        "arch": args.arch,
+        "strategy": args.strategy,
+        "gmas": [stats.to_dict() for stats in collected],
+        "totals": {
+            "timings": {k: round(v, 6) for k, v in totals.items()},
+            "probes": sum(len(s.probes) for s in collected),
+            "cache": cache_totals,
+        },
+        "global_caches": {
+            "saturation": global_saturation_cache().stats.to_dict(),
+            "axiom_corpus": global_axiom_cache().stats.to_dict(),
+        },
+    }
+    with open(args.stats_json, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
 
 
 def _dump_dimacs(directory: str, label: str, den, gma, result) -> None:

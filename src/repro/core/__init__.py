@@ -16,7 +16,29 @@ from repro.core.moves import (
     bind_outputs,
     sequentialize_parallel_moves,
 )
-from repro.core.search import SearchOutcome, SearchStrategy, search_min_cycles
+from repro.core.probes import (
+    BinaryScheduler,
+    LinearScheduler,
+    PortfolioScheduler,
+    Probe,
+    ProbeScheduler,
+    SearchOutcome,
+    SearchStrategy,
+    get_scheduler,
+    search_min_cycles,
+)
+from repro.core.cache import (
+    AxiomCorpusCache,
+    SaturationCache,
+    global_axiom_cache,
+    global_saturation_cache,
+)
+from repro.core.session import (
+    CompilationSession,
+    StageStats,
+    add_observer,
+    remove_observer,
+)
 from repro.core.pipeline import (
     CompilationResult,
     Denali,
@@ -38,9 +60,23 @@ __all__ = [
     "MoveError",
     "bind_outputs",
     "sequentialize_parallel_moves",
+    "BinaryScheduler",
+    "LinearScheduler",
+    "PortfolioScheduler",
+    "Probe",
+    "ProbeScheduler",
     "SearchOutcome",
     "SearchStrategy",
+    "get_scheduler",
     "search_min_cycles",
+    "AxiomCorpusCache",
+    "SaturationCache",
+    "global_axiom_cache",
+    "global_saturation_cache",
+    "CompilationSession",
+    "StageStats",
+    "add_observer",
+    "remove_observer",
     "CompilationResult",
     "Denali",
     "DenaliConfig",

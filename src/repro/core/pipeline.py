@@ -13,24 +13,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.axioms.axiom import AxiomSet
-from repro.axioms.builtin import (
-    alpha_axioms,
-    constant_synthesis_axioms,
-    math_axioms,
-)
-from repro.core.extraction import Schedule, extract_schedule
-from repro.core.search import (
-    Probe,
-    SearchOutcome,
-    SearchStrategy,
-    search_min_cycles,
-)
+from repro.core import cache as _cache
+from repro.core.extraction import Schedule
+from repro.core.probes import SearchOutcome, SearchStrategy
+from repro.core.session import CompilationSession, StageStats
 from repro.egraph.egraph import EGraph, ENode
-from repro.encode.constraints import EncodingOptions, encode_schedule
+from repro.encode.constraints import EncodingOptions
 from repro.isa.spec import ArchSpec
 from repro.lang.gma import GMA
-from repro.matching.saturation import SaturationConfig, SaturationStats, saturate
-from repro.sat.solver import CdclSolver
+from repro.matching.saturation import SaturationConfig, SaturationStats
 from repro.terms.ops import OperatorRegistry, default_registry
 from repro.terms.term import Term
 
@@ -54,6 +45,15 @@ class DenaliConfig:
     # Append late moves placing each register target's value in its home
     # register (section 7's destination-conflict handling).
     bind_outputs: bool = False
+    # Abandon a probe (satisfiable=None) after this much wall-clock.
+    solver_deadline_seconds: Optional[float] = None
+    # Worker threads for the PORTFOLIO strategy (None = min(4, budgets)).
+    portfolio_workers: Optional[int] = None
+    # Serve saturated E-graphs from the process-wide cache when the same
+    # goals/axioms/config were saturated before.
+    enable_saturation_cache: bool = True
+    # Share the budget-independent CNF prefix across a compilation's probes.
+    enable_cnf_prefix_cache: bool = True
 
 
 @dataclass
@@ -70,6 +70,8 @@ class CompilationResult:
     goal_classes: List[int]
     verified: Optional[bool] = None
     elapsed_seconds: float = 0.0
+    # Per-stage telemetry of the session that produced this result.
+    stats: Optional[StageStats] = None
 
     @property
     def assembly(self) -> str:
@@ -127,11 +129,9 @@ class Denali:
         self.spec = spec
         self.registry = registry if registry is not None else default_registry()
         if axioms is None:
-            axioms = (
-                math_axioms(self.registry)
-                + constant_synthesis_axioms(self.registry)
-                + alpha_axioms(self.registry)
-            )
+            # The built-in corpus compiles to the same patterns for any
+            # registry with the same signatures; share it across instances.
+            axioms = _cache.global_axiom_cache().default_corpus(self.registry)
         self.axioms = axioms
         self.config = config if config is not None else DenaliConfig()
         # Targets without byte-manipulation instructions need the explicit
@@ -203,46 +203,38 @@ class Denali:
         input_registers: Optional[Dict[str, str]] = None,
         max_cycles: Optional[int] = None,
         bind_outputs: Optional[bool] = None,
+        label: str = "",
     ) -> CompilationResult:
-        """Generate near-optimal code for one GMA (the paper's Figure 1)."""
+        """Generate near-optimal code for one GMA (the paper's Figure 1).
+
+        The work runs as a staged :class:`~repro.core.session.CompilationSession`
+        (saturation → per-probe encode/sat/extract → verify); registered
+        session observers receive the per-stage statistics, which are also
+        attached to the result as ``result.stats``.
+        """
         cfg = self.config
         start = time.perf_counter()
+        session = CompilationSession(self, gma, label=label)
 
         if input_registers is None:
             input_registers = self._default_input_registers(gma)
 
-        # Phase 1: matching (once per GMA — section 3).
-        eg = EGraph()
-        goal_ids = [eg.add_term(t) for t in gma.goal_terms()]
-        sat_stats = saturate(eg, self.axioms, self.registry, cfg.saturation)
-        goal_ids = [eg.find(g) for g in goal_ids]
+        # Phase 1: matching (once per GMA — section 3), cache-served when
+        # the identical goals/axioms/config were saturated before.
+        eg, goal_ids = session.saturate()
 
         unsafe = self._unsafe_terms(eg, gma, goal_ids)
         overrides = self._latency_overrides(eg, gma)
 
-        # Phase 2: constraint generation + SAT, per cycle budget.
-        def probe(k: int):
-            p = Probe(cycles=k, satisfiable=None)
-            encoding = encode_schedule(
-                eg, self.spec, goal_ids, k, cfg.encoding, unsafe, overrides
-            )
-            st = encoding.cnf.stats()
-            p.vars, p.clauses = st["vars"], st["clauses"]
-            solver = CdclSolver(conflict_budget=cfg.solver_conflict_budget)
-            res = solver.solve(encoding.cnf)
-            p.satisfiable = res.satisfiable
-            p.conflicts = res.stats.conflicts
-            p.time_seconds = res.stats.time_seconds
-            payload = None
-            if res.satisfiable:
-                payload = extract_schedule(eg, encoding, res.model, input_registers)
-            return res.satisfiable, payload, p
-
-        outcome = search_min_cycles(
+        # Phase 2: constraint generation + SAT, per cycle budget, driven by
+        # the configured probe scheduler.
+        probe = session.make_probe(
+            eg, goal_ids, input_registers, unsafe, overrides
+        )
+        outcome = session.search(
             probe,
             cfg.min_cycles,
             max_cycles if max_cycles is not None else cfg.max_cycles,
-            cfg.strategy,
         )
 
         schedule = outcome.best_payload
@@ -257,25 +249,18 @@ class Denali:
             cycles=outcome.best_cycles,
             optimal=outcome.optimal,
             search=outcome,
-            saturation=sat_stats,
+            saturation=session.stats.saturation,
             egraph=eg,
             goal_classes=goal_ids,
             elapsed_seconds=time.perf_counter() - start,
+            stats=session.stats,
         )
 
         if schedule is not None and cfg.verify:
-            from repro.verify.checker import check_schedule
-
-            report = check_schedule(
-                gma,
-                schedule,
-                self.registry,
-                trials=cfg.verify_trials,
-                definitions=self.axioms.definitions(),
-            )
-            result.verified = report.passed
+            result.verified = session.verify(schedule)
 
         result.elapsed_seconds = time.perf_counter() - start
+        session.finish(result.elapsed_seconds)
         return result
 
     # -- helpers -------------------------------------------------------------

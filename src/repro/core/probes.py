@@ -1,0 +1,296 @@
+"""Cycle-budget probe scheduling.
+
+The paper searches cycle budgets with binary search ("Since the costs of
+the probes are far from constant, binary search might not be the best
+strategy, but we have not explored alternatives", section 1.3).  This
+module generalises the search into pluggable :class:`ProbeScheduler`
+strategies:
+
+* :class:`BinaryScheduler` — the paper's binary search;
+* :class:`LinearScheduler` — escalate K = lo, lo+1, ... until SAT;
+* :class:`PortfolioScheduler` — launch several budgets concurrently on a
+  thread pool and cancel probes made redundant by other probes' answers
+  (a SAT answer at K makes every K' > K a loser; an UNSAT answer at K
+  makes every K' < K a loser, by the monotonicity the paper's binary
+  search already relies on).
+
+All schedulers share the satisfiability-monotonicity assumption: adding a
+cycle to the budget never makes a feasible goal infeasible.  Probes that
+return ``None`` (solver budget exhausted) are treated conservatively: the
+budget is neither raised as a floor nor accepted, so ``optimal`` is never
+claimed across an unknown gap.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class SearchStrategy(enum.Enum):
+    BINARY = "binary"
+    LINEAR = "linear"  # try K = lo, lo+1, ... until SAT
+    PORTFOLIO = "portfolio"  # concurrent probes with loser cancellation
+
+
+@dataclass
+class Probe:
+    """One satisfiability probe at a specific cycle budget."""
+
+    cycles: int
+    satisfiable: Optional[bool]
+    vars: int = 0
+    clauses: int = 0
+    conflicts: int = 0
+    time_seconds: float = 0.0
+    # Per-stage breakdown (filled by the session's instrumented probe).
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    extract_seconds: float = 0.0
+    # Cycles of CNF prefix served from the cross-probe cache.
+    prefix_cycles_reused: int = 0
+    cancelled: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "satisfiable": self.satisfiable,
+            "vars": self.vars,
+            "clauses": self.clauses,
+            "conflicts": self.conflicts,
+            "time_seconds": self.time_seconds,
+            "encode_seconds": self.encode_seconds,
+            "solve_seconds": self.solve_seconds,
+            "extract_seconds": self.extract_seconds,
+            "prefix_cycles_reused": self.prefix_cycles_reused,
+            "cancelled": self.cancelled,
+        }
+
+
+@dataclass
+class SearchOutcome:
+    """Result of the budget search.
+
+    ``best_cycles`` is the least K whose probe was SAT; ``proved_floor``
+    is the largest K proved UNSAT (so ``best_cycles == proved_floor + 1``
+    certifies optimality relative to the E-graph).
+    """
+
+    best_cycles: Optional[int]
+    best_payload: object = None
+    proved_floor: int = 0
+    probes: List[Probe] = field(default_factory=list)
+
+    @property
+    def optimal(self) -> bool:
+        return (
+            self.best_cycles is not None
+            and self.proved_floor == self.best_cycles - 1
+        )
+
+
+class CancelToken:
+    """Cooperative cancellation handle passed to portfolio probes.
+
+    A probe's solver polls :meth:`is_set` (via the solver's ``stop_check``
+    hook) and abandons the run with an unknown answer when another probe
+    has made this budget redundant.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    __call__ = is_set
+
+
+# probe(k) -> (satisfiable, payload, stats).  Schedulers that cancel pass a
+# CancelToken through the optional second argument; probes that ignore it
+# simply run to completion.
+ProbeFn = Callable[..., Tuple[Optional[bool], object, Probe]]
+
+
+class ProbeScheduler:
+    """Strategy interface: decide which budgets to probe, in what order."""
+
+    name = "abstract"
+
+    def search(self, probe: ProbeFn, lo: int, hi: int) -> SearchOutcome:
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(lo: int, hi: int) -> None:
+        if lo < 1 or hi < lo:
+            raise ValueError("need 1 <= lo <= hi")
+
+
+class _SequentialScheduler(ProbeScheduler):
+    """Shared bookkeeping for the one-probe-at-a-time strategies."""
+
+    def _run(self, outcome: SearchOutcome, probe: ProbeFn, k: int):
+        sat, payload, stats = probe(k)
+        outcome.probes.append(stats)
+        if sat:
+            if outcome.best_cycles is None or k < outcome.best_cycles:
+                outcome.best_cycles = k
+                outcome.best_payload = payload
+        elif sat is False:
+            outcome.proved_floor = max(outcome.proved_floor, k)
+        return sat
+
+
+class LinearScheduler(_SequentialScheduler):
+    name = "linear"
+
+    def search(self, probe: ProbeFn, lo: int, hi: int) -> SearchOutcome:
+        self._validate(lo, hi)
+        outcome = SearchOutcome(best_cycles=None, proved_floor=lo - 1)
+        for k in range(lo, hi + 1):
+            if self._run(outcome, probe, k):
+                break
+        return outcome
+
+
+class BinaryScheduler(_SequentialScheduler):
+    name = "binary"
+
+    def search(self, probe: ProbeFn, lo: int, hi: int) -> SearchOutcome:
+        self._validate(lo, hi)
+        outcome = SearchOutcome(best_cycles=None, proved_floor=lo - 1)
+        # Invariant: all K <= proved_floor are UNSAT, best is SAT.
+        low, high = lo, hi
+        while low <= high:
+            mid = (low + high) // 2
+            sat = self._run(outcome, probe, mid)
+            if sat:
+                high = mid - 1
+            elif sat is False:
+                low = mid + 1
+            else:  # unknown: cannot trust mid as floor; shrink from above
+                low = mid + 1
+        return outcome
+
+
+class PortfolioScheduler(ProbeScheduler):
+    """Probe several budgets concurrently; cancel probes other answers
+    make redundant.
+
+    Every budget in ``[lo, hi]`` is submitted to a thread pool.  When a
+    budget K answers SAT, all pending/running budgets above K are
+    cancelled (they can only yield worse schedules); when K answers
+    UNSAT, all budgets below K are cancelled (monotonicity makes them
+    UNSAT too, exactly the inference binary search performs when it never
+    revisits budgets below an UNSAT midpoint).  Budgets between the
+    proved floor and the current best are left running so the minimum is
+    still resolved exactly — the returned ``best_cycles`` matches the
+    sequential strategies'.
+    """
+
+    name = "portfolio"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+
+    def search(self, probe: ProbeFn, lo: int, hi: int) -> SearchOutcome:
+        from concurrent.futures import ThreadPoolExecutor, as_completed
+
+        self._validate(lo, hi)
+        outcome = SearchOutcome(best_cycles=None, proved_floor=lo - 1)
+        budgets = list(range(lo, hi + 1))
+        if len(budgets) == 1:
+            return LinearScheduler().search(probe, lo, hi)
+
+        tokens = {k: CancelToken() for k in budgets}
+        lock = threading.Lock()
+        # Guarded by ``lock``: the best SAT budget seen and the proved floor.
+        state = {"best": None, "floor": lo - 1}
+
+        def on_answer(k: int, sat: Optional[bool]) -> None:
+            with lock:
+                if sat and (state["best"] is None or k < state["best"]):
+                    state["best"] = k
+                    for other in budgets:
+                        if other > k:
+                            tokens[other].cancel()
+                elif sat is False and k > state["floor"]:
+                    state["floor"] = k
+                    for other in budgets:
+                        if other < k:
+                            tokens[other].cancel()
+
+        def worker(k: int):
+            token = tokens[k]
+            if token.is_set():
+                return k, None, None, Probe(
+                    cycles=k, satisfiable=None, cancelled=True
+                )
+            sat, payload, stats = probe(k, token)
+            if sat is None and token.is_set():
+                stats.cancelled = True
+            else:
+                on_answer(k, sat)
+            return k, sat, payload, stats
+
+        workers = self.max_workers or min(4, len(budgets))
+        results = {}
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(worker, k) for k in budgets]
+            for future in as_completed(futures):
+                k, sat, payload, stats = future.result()
+                results[k] = (sat, payload, stats)
+
+        for k in budgets:
+            sat, payload, stats = results[k]
+            outcome.probes.append(stats)
+            if sat:
+                if outcome.best_cycles is None or k < outcome.best_cycles:
+                    outcome.best_cycles = k
+                    outcome.best_payload = payload
+            elif sat is False:
+                outcome.proved_floor = max(outcome.proved_floor, k)
+        # Budgets cancelled below an explicit UNSAT answer are UNSAT by
+        # monotonicity; reflect the strongest floor actually proved.
+        outcome.proved_floor = max(outcome.proved_floor, state["floor"])
+        return outcome
+
+
+_SCHEDULERS = {
+    SearchStrategy.BINARY: BinaryScheduler,
+    SearchStrategy.LINEAR: LinearScheduler,
+    SearchStrategy.PORTFOLIO: PortfolioScheduler,
+}
+
+
+def get_scheduler(
+    strategy: SearchStrategy, max_workers: Optional[int] = None
+) -> ProbeScheduler:
+    """Instantiate the scheduler for ``strategy``."""
+    if strategy == SearchStrategy.PORTFOLIO:
+        return PortfolioScheduler(max_workers=max_workers)
+    return _SCHEDULERS[strategy]()
+
+
+def search_min_cycles(
+    probe: ProbeFn,
+    lo: int,
+    hi: int,
+    strategy: SearchStrategy = SearchStrategy.BINARY,
+) -> SearchOutcome:
+    """Find the least K in [lo, hi] for which ``probe(K)`` is satisfiable.
+
+    ``probe`` returns ``(satisfiable, payload, stats)``; payload of the best
+    SAT probe (e.g. the decoded model) is kept.  Probes returning ``None``
+    (solver budget exhausted) are treated conservatively: the budget is
+    neither raised as a floor nor accepted, and the search narrows from
+    above only.
+    """
+    return get_scheduler(strategy).search(probe, lo, hi)

@@ -1,106 +1,34 @@
-"""Search over cycle budgets for the minimum feasible K.
+"""Backward-compatible façade over :mod:`repro.core.probes`.
 
-The paper uses binary search ("Since the costs of the probes are far from
-constant, binary search might not be the best strategy, but we have not
-explored alternatives", section 1.3).  We implement both binary search and
-linear escalation and record per-probe statistics, which benchmark E9
-compares.
+The cycle-budget search grew into the pluggable probe-scheduler layer in
+``repro.core.probes``; this module keeps the historical import path
+(``from repro.core.search import search_min_cycles``) working.
 """
 
-from __future__ import annotations
+from repro.core.probes import (
+    BinaryScheduler,
+    CancelToken,
+    LinearScheduler,
+    PortfolioScheduler,
+    Probe,
+    ProbeFn,
+    ProbeScheduler,
+    SearchOutcome,
+    SearchStrategy,
+    get_scheduler,
+    search_min_cycles,
+)
 
-import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
-
-
-class SearchStrategy(enum.Enum):
-    BINARY = "binary"
-    LINEAR = "linear"  # try K = lo, lo+1, ... until SAT
-
-
-@dataclass
-class Probe:
-    """One satisfiability probe at a specific cycle budget."""
-
-    cycles: int
-    satisfiable: Optional[bool]
-    vars: int = 0
-    clauses: int = 0
-    conflicts: int = 0
-    time_seconds: float = 0.0
-
-
-@dataclass
-class SearchOutcome:
-    """Result of the budget search.
-
-    ``best_cycles`` is the least K whose probe was SAT; ``proved_floor``
-    is the largest K proved UNSAT (so ``best_cycles == proved_floor + 1``
-    certifies optimality relative to the E-graph).
-    """
-
-    best_cycles: Optional[int]
-    best_payload: object = None
-    proved_floor: int = 0
-    probes: List[Probe] = field(default_factory=list)
-
-    @property
-    def optimal(self) -> bool:
-        return (
-            self.best_cycles is not None
-            and self.proved_floor == self.best_cycles - 1
-        )
-
-
-ProbeFn = Callable[[int], Tuple[Optional[bool], object, Probe]]
-
-
-def search_min_cycles(
-    probe: ProbeFn,
-    lo: int,
-    hi: int,
-    strategy: SearchStrategy = SearchStrategy.BINARY,
-) -> SearchOutcome:
-    """Find the least K in [lo, hi] for which ``probe(K)`` is satisfiable.
-
-    ``probe`` returns ``(satisfiable, payload, stats)``; payload of the best
-    SAT probe (e.g. the decoded model) is kept.  Probes returning ``None``
-    (solver budget exhausted) are treated conservatively: the budget is
-    neither raised as a floor nor accepted, and the search narrows from
-    above only.
-    """
-    if lo < 1 or hi < lo:
-        raise ValueError("need 1 <= lo <= hi")
-    outcome = SearchOutcome(best_cycles=None, proved_floor=lo - 1)
-
-    def run(k: int) -> Optional[bool]:
-        sat, payload, stats = probe(k)
-        outcome.probes.append(stats)
-        if sat:
-            if outcome.best_cycles is None or k < outcome.best_cycles:
-                outcome.best_cycles = k
-                outcome.best_payload = payload
-        elif sat is False:
-            outcome.proved_floor = max(outcome.proved_floor, k)
-        return sat
-
-    if strategy == SearchStrategy.LINEAR:
-        for k in range(lo, hi + 1):
-            sat = run(k)
-            if sat:
-                break
-        return outcome
-
-    # Binary search maintaining: all K <= floor are UNSAT, best is SAT.
-    low, high = lo, hi
-    while low <= high:
-        mid = (low + high) // 2
-        sat = run(mid)
-        if sat:
-            high = mid - 1
-        elif sat is False:
-            low = mid + 1
-        else:  # unknown: cannot trust mid as floor; shrink from above
-            low = mid + 1
-    return outcome
+__all__ = [
+    "BinaryScheduler",
+    "CancelToken",
+    "LinearScheduler",
+    "PortfolioScheduler",
+    "Probe",
+    "ProbeFn",
+    "ProbeScheduler",
+    "SearchOutcome",
+    "SearchStrategy",
+    "get_scheduler",
+    "search_min_cycles",
+]

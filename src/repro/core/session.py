@@ -1,0 +1,279 @@
+"""Staged compilation sessions.
+
+One :class:`CompilationSession` runs the paper's Figure 1 pipeline for a
+single GMA as explicit, observable stages — **saturation** (matcher +
+axioms, served from the cross-compilation saturation cache when the same
+goals were saturated before), **encode** (per-budget CNF, sharing the
+budget-independent prefix across probes), **sat** (the CDCL solver, with
+deadline/cancellation plumbing for the portfolio scheduler), **extract**
+(model decoding) and **verify** (differential checking) — and threads a
+:class:`StageStats` record through them.
+
+Completed sessions are announced to registered observers
+(:func:`add_observer`), which is how the CLI's ``--stats-json`` report
+and the benchmark harness's per-test stage breakdowns are collected
+without the pipeline knowing about either.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core import cache as _cache
+from repro.core.probes import Probe, SearchOutcome, get_scheduler
+from repro.egraph.egraph import EGraph, ENode
+from repro.encode.constraints import IncrementalEncoder, encode_schedule
+from repro.lang.gma import GMA
+from repro.matching.saturation import SaturationStats, saturate
+from repro.sat.solver import CdclSolver
+
+
+@dataclass
+class StageStats:
+    """Per-stage telemetry of one compilation session.
+
+    ``timings`` maps stage names (``saturation``, ``encode``, ``sat``,
+    ``extract``, ``verify``, ``total``) to wall-clock seconds; ``encode``,
+    ``sat`` and ``extract`` are summed over all probes.  ``cache`` holds
+    the session's own hit/miss events (not the global cache totals).
+    """
+
+    label: str = ""
+    strategy: str = ""
+    timings: Dict[str, float] = field(default_factory=dict)
+    probes: List[Probe] = field(default_factory=list)
+    saturation: Optional[SaturationStats] = None
+    cache: Dict[str, int] = field(
+        default_factory=lambda: {
+            "saturation_hits": 0,
+            "saturation_misses": 0,
+            "cnf_prefix_cycles_reused": 0,
+            "cnf_prefix_cycles_built": 0,
+        }
+    )
+    best_cycles: Optional[int] = None
+    optimal: bool = False
+    verified: Optional[bool] = None
+
+    def add_time(self, stage: str, seconds: float) -> None:
+        self.timings[stage] = self.timings.get(stage, 0.0) + seconds
+
+    def to_dict(self) -> dict:
+        sat = None
+        if self.saturation is not None:
+            sat = {
+                "rounds": self.saturation.rounds,
+                "instances_asserted": self.saturation.instances_asserted,
+                "quiescent": self.saturation.quiescent,
+                "enodes": self.saturation.enodes,
+                "classes": self.saturation.classes,
+            }
+        return {
+            "label": self.label,
+            "strategy": self.strategy,
+            "timings": {k: round(v, 6) for k, v in self.timings.items()},
+            "probes": [p.to_dict() for p in self.probes],
+            "saturation": sat,
+            "cache": dict(self.cache),
+            "best_cycles": self.best_cycles,
+            "optimal": self.optimal,
+            "verified": self.verified,
+            "cnf": {
+                "max_vars": max((p.vars for p in self.probes), default=0),
+                "max_clauses": max((p.clauses for p in self.probes), default=0),
+                "total_conflicts": sum(p.conflicts for p in self.probes),
+            },
+        }
+
+
+# -- observers ----------------------------------------------------------------
+
+_observers: List[Callable[[StageStats], None]] = []
+_observer_lock = threading.Lock()
+
+
+def add_observer(fn: Callable[[StageStats], None]) -> None:
+    """Register a callback invoked with each completed session's stats."""
+    with _observer_lock:
+        _observers.append(fn)
+
+
+def remove_observer(fn: Callable[[StageStats], None]) -> None:
+    with _observer_lock:
+        try:
+            _observers.remove(fn)
+        except ValueError:
+            pass
+
+
+def _notify(stats: StageStats) -> None:
+    with _observer_lock:
+        observers = list(_observers)
+    for fn in observers:
+        fn(stats)
+
+
+class _StageTimer:
+    def __init__(self, stats: StageStats, stage: str) -> None:
+        self.stats = stats
+        self.stage = stage
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.stats.add_time(self.stage, time.perf_counter() - self._start)
+        return False
+
+
+class CompilationSession:
+    """One staged run of the pipeline for one GMA.
+
+    The session is created by :class:`~repro.core.pipeline.Denali` (which
+    owns the long-lived pieces: spec, axioms, registry, config) and is
+    discarded after producing a
+    :class:`~repro.core.pipeline.CompilationResult`.
+    """
+
+    def __init__(self, denali, gma: GMA, label: str = "") -> None:
+        self.denali = denali
+        self.spec = denali.spec
+        self.axioms = denali.axioms
+        self.registry = denali.registry
+        self.config = denali.config
+        self.gma = gma
+        self.stats = StageStats(label=label, strategy=self.config.strategy.value)
+        self._lock = threading.Lock()  # guards the E-graph + encoder
+        self._encoder: Optional[IncrementalEncoder] = None
+
+    # -- stage 1: saturation -------------------------------------------------
+
+    def saturate(self):
+        """Build (or fetch) the saturated E-graph; returns (eg, goal_ids)."""
+        cfg = self.config
+        goals = self.gma.goal_terms()
+        with _StageTimer(self.stats, "saturation"):
+            key = None
+            if cfg.enable_saturation_cache:
+                key = _cache.saturation_key(
+                    goals, self.axioms, self.registry, cfg.saturation
+                )
+                hit = _cache.global_saturation_cache().lookup(key)
+                if hit is not None:
+                    self.stats.cache["saturation_hits"] += 1
+                    eg, sat_stats = hit
+                    self.stats.saturation = sat_stats
+                    goal_ids = [eg.find(eg.add_term(t)) for t in goals]
+                    return eg, goal_ids
+                self.stats.cache["saturation_misses"] += 1
+            eg = EGraph()
+            goal_ids = [eg.add_term(t) for t in goals]
+            sat_stats = saturate(eg, self.axioms, self.registry, cfg.saturation)
+            goal_ids = [eg.find(g) for g in goal_ids]
+            self.stats.saturation = sat_stats
+            if key is not None:
+                _cache.global_saturation_cache().store(key, eg, sat_stats)
+        return eg, goal_ids
+
+    # -- stages 2-4: probe = encode + sat + extract ---------------------------
+
+    def make_probe(
+        self,
+        eg: EGraph,
+        goal_ids: List[int],
+        input_registers: Dict[str, str],
+        unsafe: Optional[Dict[ENode, int]],
+        overrides: Optional[Dict[ENode, int]],
+    ):
+        """The instrumented probe function handed to the scheduler."""
+        from repro.core.extraction import extract_schedule
+
+        cfg = self.config
+        if cfg.enable_cnf_prefix_cache:
+            with self._lock:
+                self._encoder = IncrementalEncoder(
+                    eg, self.spec, goal_ids, cfg.encoding, unsafe, overrides
+                )
+
+        def probe(k: int, cancel=None):
+            p = Probe(cycles=k, satisfiable=None)
+            t0 = time.perf_counter()
+            with self._lock:
+                if self._encoder is not None:
+                    encoding = self._encoder.encode(k)
+                    p.prefix_cycles_reused = encoding.prefix_cycles_reused
+                    self.stats.cache["cnf_prefix_cycles_reused"] += (
+                        encoding.prefix_cycles_reused
+                    )
+                    self.stats.cache["cnf_prefix_cycles_built"] += (
+                        k - encoding.prefix_cycles_reused
+                    )
+                else:
+                    encoding = encode_schedule(
+                        eg, self.spec, goal_ids, k, cfg.encoding, unsafe,
+                        overrides,
+                    )
+                    self.stats.cache["cnf_prefix_cycles_built"] += k
+            t1 = time.perf_counter()
+            p.encode_seconds = t1 - t0
+            self.stats.add_time("encode", p.encode_seconds)
+            st = encoding.cnf.stats()
+            p.vars, p.clauses = st["vars"], st["clauses"]
+            solver = CdclSolver(
+                conflict_budget=cfg.solver_conflict_budget,
+                deadline_seconds=cfg.solver_deadline_seconds,
+                stop_check=cancel,
+            )
+            res = solver.solve(encoding.cnf)
+            p.satisfiable = res.satisfiable
+            p.conflicts = res.stats.conflicts
+            p.solve_seconds = res.stats.time_seconds
+            p.time_seconds = res.stats.time_seconds
+            self.stats.add_time("sat", p.solve_seconds)
+            payload = None
+            if res.satisfiable:
+                t2 = time.perf_counter()
+                with self._lock:
+                    payload = extract_schedule(
+                        eg, encoding, res.model, input_registers
+                    )
+                p.extract_seconds = time.perf_counter() - t2
+                self.stats.add_time("extract", p.extract_seconds)
+            return res.satisfiable, payload, p
+
+        return probe
+
+    def search(self, probe, lo: int, hi: int) -> SearchOutcome:
+        """Run the configured probe scheduler over ``[lo, hi]``."""
+        cfg = self.config
+        scheduler = get_scheduler(cfg.strategy, cfg.portfolio_workers)
+        outcome = scheduler.search(probe, lo, hi)
+        self.stats.probes = outcome.probes
+        self.stats.best_cycles = outcome.best_cycles
+        self.stats.optimal = outcome.optimal
+        return outcome
+
+    # -- stage 5: verification -------------------------------------------------
+
+    def verify(self, schedule) -> bool:
+        from repro.verify.checker import check_schedule
+
+        with _StageTimer(self.stats, "verify"):
+            report = check_schedule(
+                self.gma,
+                schedule,
+                self.registry,
+                trials=self.config.verify_trials,
+                definitions=self.axioms.definitions(),
+            )
+        self.stats.verified = report.passed
+        return report.passed
+
+    def finish(self, total_seconds: float) -> None:
+        """Seal the stats record and announce it to observers."""
+        self.stats.timings["total"] = total_seconds
+        _notify(self.stats)

@@ -80,6 +80,31 @@ class EGraph:
         self._dirty = False
         self.version = 0  # bumped on every structural change; used by matcher
 
+    def copy(self) -> "EGraph":
+        """An independent graph with the same classes, nodes and facts.
+
+        Terms and enodes are immutable and shared; all mutable structure
+        (union-find, class data, hashcons) is duplicated, so mutating the
+        copy never affects the original.  The saturation cache relies on
+        this to hand out working graphs while keeping a pristine master.
+        """
+        out = EGraph.__new__(EGraph)
+        out._uf = self._uf.copy()
+        out._classes = {
+            cid: _ClassData(
+                sort=data.sort,
+                const_value=data.const_value,
+                distinct_from=set(data.distinct_from),
+            )
+            for cid, data in self._classes.items()
+        }
+        out._hashcons = dict(self._hashcons)
+        out._node_term = dict(self._node_term)
+        out._term_class = dict(self._term_class)
+        out._dirty = self._dirty
+        out.version = self.version
+        return out
+
     # -- introspection ------------------------------------------------------
 
     def find(self, cid: int) -> int:

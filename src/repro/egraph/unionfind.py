@@ -25,6 +25,13 @@ class UnionFind:
         self._rank.append(0)
         return new_id
 
+    def copy(self) -> "UnionFind":
+        """An independent forest with the same sets."""
+        out = UnionFind()
+        out._parent = list(self._parent)
+        out._rank = list(self._rank)
+        return out
+
     def find(self, x: int) -> int:
         """Return the canonical representative of ``x``'s set."""
         root = x

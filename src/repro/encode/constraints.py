@@ -78,6 +78,9 @@ class Encoding:
     spec: ArchSpec = None  # type: ignore[assignment]
     # Per-node latency overrides (profile-style memory annotations, §6).
     latency_overrides: Dict[ENode, int] = field(default_factory=dict)
+    # Cycle blocks served from an IncrementalEncoder's cross-probe prefix
+    # cache (0 for one-shot encodings).
+    prefix_cycles_reused: int = 0
 
     def latency(self, node: ENode) -> int:
         """The latency the schedule was encoded with for this node."""
@@ -377,3 +380,251 @@ def encode_schedule(
         spec=spec,
         latency_overrides=dict(overrides),
     )
+
+
+class IncrementalEncoder:
+    """Budget-independent CNF prefix shared across cycle-budget probes.
+
+    Every constraint family except the goal clauses (and the optional
+    launch-at-most-once cardinality) only relates cycles ``<= i`` to each
+    other, so the CNF for budget ``K`` is the concatenation of per-cycle
+    *blocks* ``0 .. K-1`` plus a tiny budget-specific suffix.  This
+    encoder builds each block once, in cycle order (so variable numbering
+    for a smaller budget is a prefix of a larger budget's), and assembles
+    per-budget :class:`Encoding` views from the cached blocks.  Probing
+    budgets 4, 8 and 6 encodes 8 blocks total instead of 18.
+
+    Unlike :func:`encode_schedule`, machine terms whose latency exceeds
+    the probed budget keep their (inert) launch variables: their ``A``
+    linking forces them to never complete, no availability counts them as
+    a producer, and demand-driven extraction never picks them, so the two
+    encoders accept exactly the same schedules.
+
+    The instance is bound to one saturated E-graph; the graph must not be
+    mutated after construction (class ids are resolved once).
+    """
+
+    def __init__(
+        self,
+        eg: EGraph,
+        spec: ArchSpec,
+        goals: Sequence[int],
+        options: Optional[EncodingOptions] = None,
+        unsafe_terms: Optional[Dict[ENode, int]] = None,
+        latency_overrides: Optional[Dict[ENode, int]] = None,
+    ) -> None:
+        self.eg = eg
+        self.spec = spec
+        self.options = options or EncodingOptions()
+        self.unsafe_terms = unsafe_terms or {}
+        self.latency_overrides = latency_overrides or {}
+
+        self.goal_roots = [eg.find(g) for g in goals]
+        support = _support(eg, self.goal_roots)
+        if self.options.materialize_constants:
+            _inject_ldiq(eg, support, spec)
+            support = _support(eg, self.goal_roots)
+        self.support = support
+        self.free = _free_classes(eg, support, spec)
+        self.computable = _computable_classes(eg, support, self.free, spec)
+        for g in self.goal_roots:
+            if g not in self.computable:
+                raise EncodeError(
+                    "goal class c%d cannot be computed by %s with the "
+                    "available axioms" % (g, spec.name)
+                )
+
+        self.machine_terms: List[Tuple[ENode, int]] = []
+        for cid in support:
+            if cid not in self.computable:
+                continue
+            for node in eg.enodes(cid):
+                if node.op in ("const", "input") or not spec.is_machine_op(
+                    node.op
+                ):
+                    continue
+                if node.op != "ldiq" and not all(
+                    eg.find(a) in self.computable for a in node.args
+                ):
+                    continue
+                self.machine_terms.append((node, cid))
+        self.needs_avail = [
+            cid
+            for cid in support
+            if cid in self.computable and cid not in self.free
+        ]
+        self._producers: Dict[int, List[Tuple[ENode, str]]] = {}
+        for node, cid in self.machine_terms:
+            for u in spec.info(node.op).units:
+                self._producers.setdefault(cid, []).append((node, u))
+        self._loads_by_mem: Dict[int, List[ENode]] = {}
+        for node, _cid in self.machine_terms:
+            if node.op == "select":
+                self._loads_by_mem.setdefault(
+                    eg.find(node.args[0]), []
+                ).append(node)
+        self._stores = [n for n, _c in self.machine_terms if n.op == "store"]
+
+        # Prefix state: the master CNF grows monotonically, one cycle block
+        # at a time; per-block end markers let budget views slice it.
+        self._master = CNF()
+        self._launch_vars: Dict[Tuple[int, ENode, str], int] = {}
+        self._avail_vars: Dict[Tuple[int, int, int], int] = {}
+        self._built = 0
+        self._var_end = [0]
+        self._clause_end = [0]
+
+    def latency(self, node: ENode) -> int:
+        override = self.latency_overrides.get(node)
+        return override if override is not None else self.spec.latency(node.op)
+
+    # -- per-cycle blocks ----------------------------------------------------
+
+    def _build_block(self, i: int) -> None:
+        eg, spec, cnf = self.eg, self.spec, self._master
+        clusters = spec.cluster_ids()
+
+        # Variables of cycle i: F/L/A per machine term, then B per class.
+        for node, _cid in self.machine_terms:
+            for u in spec.info(node.op).units:
+                self._launch_vars[(i, node, u)] = cnf.new_var(("F", i, node, u))
+            cnf.new_var(("L", i, node))
+            cnf.new_var(("A", i, node))
+        for cid in self.needs_avail:
+            for c in clusters:
+                self._avail_vars[(i, cid, c)] = cnf.new_var(("B", i, cid, c))
+
+        for node, cid in self.machine_terms:
+            info = spec.info(node.op)
+            # family 0: L is the disjunction of the per-unit launches.
+            lvar = cnf.var(("L", i, node))
+            cnf.iff_or(
+                lvar, [self._launch_vars[(i, node, u)] for u in info.units]
+            )
+            # family 1: latency linking A(i,T) == L(i - lat + 1, T).
+            lat = self.latency(node)
+            avar = cnf.var(("A", i, node))
+            j = i - lat + 1
+            if j < 0:
+                cnf.add(-avar)
+            else:
+                prev = cnf.var(("L", j, node))
+                cnf.implies(avar, prev)
+                cnf.implies(prev, avar)
+            # family 2: operand availability.
+            arg_classes = (
+                [] if node.op == "ldiq" else [eg.find(a) for a in node.args]
+            )
+            deps = [a for a in arg_classes if a not in self.free]
+            if node in self.unsafe_terms:
+                guard = eg.find(self.unsafe_terms[node])
+                if guard not in self.free and guard not in deps:
+                    deps.append(guard)
+            if deps:
+                for u in info.units:
+                    fvar = self._launch_vars[(i, node, u)]
+                    cluster = spec.clusters[u]
+                    for q in deps:
+                        if i == 0:
+                            cnf.add(-fvar)
+                            break
+                        cnf.implies(fvar, self._avail_vars[(i - 1, q, cluster)])
+
+        # family 3: availability definition B(i,Q,c) => some launch.
+        for cid in self.needs_avail:
+            for c in clusters:
+                bvar = self._avail_vars[(i, cid, c)]
+                supports: List[int] = []
+                for node, u in self._producers.get(cid, ()):
+                    j_max = i - self.latency(node) + 1 - spec.result_delay(u, c)
+                    for j in range(0, j_max + 1):
+                        supports.append(self._launch_vars[(j, node, u)])
+                cnf.implies_or(bvar, supports)
+                if self.options.strict_availability:
+                    for s in supports:
+                        cnf.add(-s, bvar)
+
+        # family 4: issue rules (one launch per unit per cycle).
+        per_slot: Dict[str, List[int]] = {}
+        for node, _cid in self.machine_terms:
+            for u in spec.info(node.op).units:
+                per_slot.setdefault(u, []).append(
+                    self._launch_vars[(i, node, u)]
+                )
+        for slot_vars in per_slot.values():
+            cnf.at_most_one(slot_vars)
+
+        # family 6: memory anti-dependences.  The full set for budget K is
+        # all (store cycle s, load cycle j) pairs with j >= s - llat + 1 and
+        # s, j < K; the pairs whose max is i belong to this block.
+        for snode in self._stores:
+            mem_class = eg.find(snode.args[0])
+            sinfo = spec.info(snode.op)
+            for lnode in self._loads_by_mem.get(mem_class, ()):
+                llat = self.latency(lnode)
+                pairs = [(i, j) for j in range(max(0, i - llat + 1), i + 1)]
+                pairs += [(s, i) for s in range(0, i)]
+                for s, j in pairs:
+                    lvar = cnf.var(("L", j, lnode))
+                    for u in sinfo.units:
+                        cnf.add(-self._launch_vars[(s, snode, u)], -lvar)
+
+        self._built = i + 1
+        self._var_end.append(cnf.num_vars)
+        self._clause_end.append(len(cnf.clauses))
+
+    # -- per-budget views -----------------------------------------------------
+
+    def encode(self, cycles: int) -> Encoding:
+        """The :class:`Encoding` for one budget, reusing built blocks.
+
+        The returned encoding's ``prefix_cycles_reused`` attribute counts
+        how many of its cycle blocks were already built by earlier calls.
+        """
+        if cycles < 1:
+            raise EncodeError("cycle budget must be at least 1")
+        reused = min(self._built, cycles)
+        while self._built < cycles:
+            self._build_block(self._built)
+
+        view = CNF()
+        view.num_vars = self._var_end[cycles]
+        view.clauses = list(self._master.clauses[: self._clause_end[cycles]])
+        clusters = self.spec.cluster_ids()
+        avail_vars = {
+            key: var for key, var in self._avail_vars.items() if key[0] < cycles
+        }
+        launch_vars = {
+            key: var
+            for key, var in self._launch_vars.items()
+            if key[0] < cycles
+        }
+
+        # family 5: goals computed within the budget.
+        for g in self.goal_roots:
+            if g in self.free:
+                continue
+            view.add_clause(
+                [avail_vars[(cycles - 1, g, c)] for c in clusters]
+            )
+        if self.options.launch_at_most_once:
+            per_term: Dict[ENode, List[int]] = {}
+            for (i, node, u), var in launch_vars.items():
+                per_term.setdefault(node, []).append(var)
+            for term_vars in per_term.values():
+                view.at_most_one(term_vars)
+
+        encoding = Encoding(
+            cnf=view,
+            cycles=cycles,
+            goal_classes=list(self.goal_roots),
+            machine_terms=list(self.machine_terms),
+            support_classes=list(self.support),
+            free_classes=self.free,
+            launch_vars=launch_vars,
+            avail_vars=avail_vars,
+            spec=self.spec,
+            latency_overrides=dict(self.latency_overrides),
+            prefix_cycles_reused=reused,
+        )
+        return encoding

@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.sat.cnf import CNF
 
@@ -95,7 +95,17 @@ class CdclSolver:
             conflicts (``None`` = unbounded).
         restart_base: Luby restart unit, in conflicts.
         var_decay: VSIDS activity decay factor.
+        deadline_seconds: stop with ``satisfiable=None`` once this much
+            wall-clock has elapsed (``None`` = unbounded).  Checked at
+            conflicts, so a run inside a huge conflict-free propagation
+            can overshoot slightly.
+        stop_check: zero-argument callable polled periodically at
+            conflicts and decisions; returning True abandons the run with
+            ``satisfiable=None``.  This is how the portfolio probe
+            scheduler cancels losing probes.
     """
+
+    _STOP_CHECK_INTERVAL = 32  # conflicts between deadline/stop polls
 
     def __init__(
         self,
@@ -104,12 +114,24 @@ class CdclSolver:
         var_decay: float = 0.95,
         clause_decay: float = 0.999,
         max_learnts_factor: float = 3.0,
+        deadline_seconds: Optional[float] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.conflict_budget = conflict_budget
         self.restart_base = restart_base
         self.var_decay = var_decay
         self.clause_decay = clause_decay
         self.max_learnts_factor = max_learnts_factor
+        self.deadline_seconds = deadline_seconds
+        self.stop_check = stop_check
+
+    def _should_stop(self, start: float) -> bool:
+        if self.stop_check is not None and self.stop_check():
+            return True
+        return (
+            self.deadline_seconds is not None
+            and time.perf_counter() - start >= self.deadline_seconds
+        )
 
     # -- public API ---------------------------------------------------------
 
@@ -157,6 +179,12 @@ class CdclSolver:
                 ):
                     stats.time_seconds = time.perf_counter() - start
                     return SatResult(None, None, stats)
+                if (
+                    stats.conflicts % self._STOP_CHECK_INTERVAL == 0
+                    and self._should_stop(start)
+                ):
+                    stats.time_seconds = time.perf_counter() - start
+                    return SatResult(None, None, stats)
                 continue
 
             if len(self._learnts) > max_learnts:
@@ -172,6 +200,12 @@ class CdclSolver:
 
             lit = self._next_assumption()
             if lit is None:
+                if (
+                    stats.decisions % self._STOP_CHECK_INTERVAL == 0
+                    and self._should_stop(start)
+                ):
+                    stats.time_seconds = time.perf_counter() - start
+                    return SatResult(None, None, stats)
                 lit = self._decide()
             if lit is None:
                 model = {

@@ -13,6 +13,8 @@ from hypothesis import strategies as st
 
 from repro import Denali, DenaliConfig, GMA, ev6, const, inp, mk
 from repro.baselines import compile_conventional
+
+pytestmark = pytest.mark.slow
 from repro.baselines.compiler import CompileError
 from repro.matching import SaturationConfig
 from repro.sim import execute_schedule

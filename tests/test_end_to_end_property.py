@@ -13,6 +13,8 @@ from hypothesis import strategies as st
 
 from repro import Denali, DenaliConfig, ev6, simple_risc, const, inp, mk
 from repro.egraph.analysis import min_depth
+
+pytestmark = pytest.mark.slow
 from repro.matching import SaturationConfig
 from repro.sim import simulate_timing
 

@@ -10,6 +10,8 @@ import sys
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 _EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
 
 

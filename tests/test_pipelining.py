@@ -23,6 +23,8 @@ from repro import (
 from repro.lang.pipelining import run_loop, software_pipeline
 from repro.matching import SaturationConfig
 
+pytestmark = pytest.mark.slow
+
 
 def sum_loop():
     """sum := sum + *ptr; ptr := ptr + 8  while ptr < end."""

@@ -215,6 +215,52 @@ class TestSolverBasics:
         assert res.satisfiable
 
 
+class TestSolverInterruption:
+    """The deadline / stop_check hooks used by the portfolio scheduler."""
+
+    @staticmethod
+    def _needs_decisions() -> CNF:
+        # Nothing propagates at level 0, so the solver must decide.
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add(a, b)
+        return cnf
+
+    def test_stop_check_aborts_with_unknown(self):
+        res = CdclSolver(stop_check=lambda: True).solve(self._needs_decisions())
+        assert res.satisfiable is None
+        assert res.model is None
+
+    def test_stop_check_false_does_not_interfere(self):
+        calls = []
+
+        def stop():
+            calls.append(1)
+            return False
+
+        res = CdclSolver(stop_check=stop).solve(self._needs_decisions())
+        assert res.satisfiable is True
+        assert calls  # the hook was actually polled
+
+    def test_expired_deadline_aborts_with_unknown(self):
+        res = CdclSolver(deadline_seconds=0.0).solve(self._needs_decisions())
+        assert res.satisfiable is None
+
+    def test_generous_deadline_solves_normally(self):
+        res = CdclSolver(deadline_seconds=60.0).solve(self._needs_decisions())
+        assert res.satisfiable is True
+
+    def test_level_zero_conflicts_still_reported_unsat(self):
+        # An input-level contradiction is decided during clause loading /
+        # initial propagation, before any stop poll: still a hard UNSAT.
+        cnf = CNF()
+        a = cnf.new_var()
+        cnf.add(a)
+        cnf.add(-a)
+        res = CdclSolver(stop_check=lambda: True).solve(cnf)
+        assert res.satisfiable is False
+
+
 class TestSolverDifferential:
     """CDCL vs. brute force on random small formulas."""
 

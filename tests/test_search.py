@@ -1,8 +1,13 @@
 """Tests for the cycle-budget search."""
 
+import threading
+import time
+
 import pytest
 
 from repro.core.search import (
+    CancelToken,
+    PortfolioScheduler,
     Probe,
     SearchOutcome,
     SearchStrategy,
@@ -62,6 +67,161 @@ class TestBinarySearch:
         out = search_min_cycles(_oracle(3), 1, 8)
         assert all(isinstance(p, Probe) for p in out.probes)
         assert len(out.probes) >= 3
+
+
+class TestUnknownProbes:
+    """Regression tests for the ``sat is None`` paths.
+
+    An unknown probe (solver budget or deadline exhausted) must never be
+    counted as an UNSAT floor, and optimality must never be claimed when
+    the budget just below the best SAT was skipped or unknown.
+    """
+
+    def test_unknown_gap_never_claims_optimal(self):
+        # Binary search skips across the unknown budgets 4 and 5 and
+        # still finds the optimum at 6 — but with K=5 unrefuted it must
+        # not claim the proof.
+        calls = []
+        out = search_min_cycles(
+            _oracle(6, record=calls, unknown_at={4, 5}), 1, 12
+        )
+        assert out.best_cycles == 6
+        assert not out.optimal
+        assert out.proved_floor == 3
+        # The unknown probes were actually attempted, not silently skipped.
+        assert {4, 5} <= set(calls)
+
+    def test_unknown_below_refuted_floor_is_still_optimal(self):
+        # K=4 is unknown but K=5 is explicitly refuted, so best=6 is
+        # proved optimal by monotonicity regardless of the gap below.
+        out = search_min_cycles(_oracle(6, unknown_at={4}), 1, 12)
+        assert out.best_cycles == 6
+        assert out.proved_floor == 5
+        assert out.optimal
+
+    def test_all_unknown(self):
+        out = search_min_cycles(_oracle(100, unknown_at=set(range(1, 13))), 1, 12)
+        assert out.best_cycles is None
+        assert out.best_payload is None
+        assert out.proved_floor == 0
+        assert not out.optimal
+
+    def test_linear_unknown_is_not_a_floor(self):
+        out = search_min_cycles(
+            _oracle(5, unknown_at={4}), 1, 12, SearchStrategy.LINEAR
+        )
+        assert out.best_cycles == 5
+        assert out.proved_floor == 3
+        assert not out.optimal
+
+    def test_linear_unknown_bridged_by_later_unsat(self):
+        out = search_min_cycles(
+            _oracle(5, unknown_at={3}), 1, 12, SearchStrategy.LINEAR
+        )
+        assert out.best_cycles == 5
+        assert out.proved_floor == 4  # K=4's explicit refutation
+        assert out.optimal
+
+
+def _portfolio_oracle(threshold, unknown_at=()):
+    """A thread-safe oracle for the portfolio scheduler (takes a token)."""
+
+    def probe(k, cancel=None):
+        if k in unknown_at:
+            return None, None, Probe(cycles=k, satisfiable=None)
+        sat = k >= threshold
+        payload = ("model", k) if sat else None
+        return sat, payload, Probe(cycles=k, satisfiable=sat)
+
+    return probe
+
+
+class TestPortfolioSearch:
+    @pytest.mark.parametrize("threshold", [1, 3, 5, 8, 12])
+    def test_matches_sequential_result(self, threshold):
+        out = search_min_cycles(
+            _portfolio_oracle(threshold), 1, 12, SearchStrategy.PORTFOLIO
+        )
+        seq = search_min_cycles(_oracle(threshold), 1, 12)
+        assert out.best_cycles == seq.best_cycles == threshold
+        assert out.best_payload == ("model", threshold)
+        assert out.optimal
+
+    def test_all_unsat(self):
+        out = search_min_cycles(
+            _portfolio_oracle(100), 1, 8, SearchStrategy.PORTFOLIO
+        )
+        assert out.best_cycles is None
+        assert out.proved_floor == 8
+
+    def test_unknown_gap_never_claims_optimal(self):
+        out = search_min_cycles(
+            _portfolio_oracle(6, unknown_at={5}), 1, 12,
+            SearchStrategy.PORTFOLIO,
+        )
+        assert out.best_cycles == 6
+        assert not out.optimal
+
+    def test_single_budget_falls_back_to_sequential(self):
+        out = search_min_cycles(
+            _portfolio_oracle(3), 3, 3, SearchStrategy.PORTFOLIO
+        )
+        assert out.best_cycles == 3
+        assert out.optimal
+
+    def test_cancels_losers_above_sat_answer(self):
+        threshold = 2
+        started = set()
+        start_lock = threading.Lock()
+
+        def probe(k, cancel=None):
+            with start_lock:
+                started.add(k)
+            if k <= threshold:
+                sat = k >= threshold
+                payload = ("model", k) if sat else None
+                return sat, payload, Probe(cycles=k, satisfiable=sat)
+            # Expensive large-budget probes: spin until cancelled.
+            deadline = time.time() + 5.0
+            while not (cancel is not None and cancel()):
+                if time.time() > deadline:  # pragma: no cover - safety net
+                    pytest.fail("probe at K=%d was never cancelled" % k)
+                time.sleep(0.001)
+            return None, None, Probe(cycles=k, satisfiable=None)
+
+        out = PortfolioScheduler(max_workers=8).search(probe, 1, 8)
+        assert out.best_cycles == 2
+        assert out.optimal  # K=1 was explicitly refuted
+        # Every losing budget was cancelled — whether pre-empted before
+        # its worker started or interrupted mid-probe via its token.
+        cancelled = {p.cycles for p in out.probes if p.cancelled}
+        assert cancelled == set(range(threshold + 1, 9))
+        assert all(k <= threshold or k in cancelled for k in started)
+
+    def test_slow_small_sat_budget_still_wins(self):
+        # K=3 answers SAT instantly; K=2 is SAT but slow.  The minimum
+        # must still be 2 — a faster larger budget never steals the win.
+        def probe(k, cancel=None):
+            if k == 2:
+                time.sleep(0.05)
+            sat = k >= 2
+            payload = ("model", k) if sat else None
+            return sat, payload, Probe(cycles=k, satisfiable=sat)
+
+        out = PortfolioScheduler(max_workers=3).search(probe, 1, 3)
+        assert out.best_cycles == 2
+        assert out.best_payload == ("model", 2)
+        assert out.optimal
+
+
+class TestCancelToken:
+    def test_starts_clear_and_latches(self):
+        token = CancelToken()
+        assert not token.is_set()
+        assert not token()
+        token.cancel()
+        assert token.is_set()
+        assert token()  # callable form, as the solver's stop_check
 
 
 class TestLinearSearch:
