@@ -1,0 +1,210 @@
+"""E-service — batch service throughput vs one-shot CLI invocations.
+
+The one-shot CLI pays full cold start (interpreter launch, axiom corpus
+compilation, saturation) per file.  The compilation service amortizes
+all three: workers fork with the corpus already compiled, identical
+requests coalesce onto one compilation, and a persistent store answers
+repeats across restarts.
+
+Measured here, over the ``benchmarks/workloads/`` batch (fig2, byteswap4
+and the section-8 checksum body), with the request stream repeated 3x
+(the CI/regression pattern the service targets):
+
+* **sequential baseline** — one ``python -m repro`` subprocess per
+  request, requests/second;
+* **batch mode** at 1, 2 and 4 workers against a cold store;
+* **warm rerun** — a fresh engine on the same store file: hit rate and
+  byte-for-byte identical assembly.
+
+Acceptance (ISSUE 2): 4-worker batch >= 2x the sequential CLI
+requests/second; warm rerun >= 90% store hit rate, identical assembly.
+Results land in ``benchmarks/out/bench_service.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from benchmarks.conftest import output_dir
+
+WORKLOAD_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "workloads"
+)
+WORKLOADS = ["fig2.dn", "byteswap4.dn", "checksum.dn"]
+REPEATS = 3
+
+# One flag set that compiles every workload (checksum needs the larger
+# saturation budgets; linear search keeps probe counts comparable).
+PIPELINE_FLAGS = [
+    "--strategy", "linear",
+    "--min-cycles", "1",
+    "--max-cycles", "10",
+    "--max-rounds", "8",
+    "--max-enodes", "2500",
+]
+
+
+def _workload_paths():
+    return [os.path.join(WORKLOAD_DIR, name) for name in WORKLOADS]
+
+
+def _job_specs(timeout=120.0):
+    from repro.service import JobSpec
+
+    specs = []
+    for path in _workload_paths():
+        with open(path) as handle:
+            source = handle.read()
+        specs.append(
+            JobSpec(
+                kind="compile",
+                source=source,
+                name=os.path.basename(path),
+                strategy="linear",
+                min_cycles=1,
+                max_cycles=10,
+                max_rounds=8,
+                max_enodes=2500,
+                timeout_seconds=timeout,
+            )
+        )
+    return specs
+
+
+def _sequential_cli():
+    """Requests/second of one-shot CLI subprocesses (full cold starts)."""
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    start = time.perf_counter()
+    for path in _workload_paths():
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", path, "--quiet"] + PIPELINE_FLAGS,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+    elapsed = time.perf_counter() - start
+    return {
+        "requests": len(WORKLOADS),
+        "elapsed_seconds": round(elapsed, 3),
+        "requests_per_second": round(len(WORKLOADS) / elapsed, 4),
+    }
+
+
+def _assemblies(engine, ids):
+    """label -> assembly text over a batch's unique results."""
+    out = {}
+    for job_id in ids:
+        payload = engine.result(job_id, wait=False)
+        assert payload is not None and payload.get("ok"), payload
+        for unit in payload["units"]:
+            out[unit["label"]] = unit["assembly"]
+    return out
+
+
+def _batch_run(workers, store_path):
+    from repro.service import CompilationEngine, ResultStore
+
+    specs = _job_specs() * REPEATS
+    engine = CompilationEngine(
+        workers=workers, store=ResultStore(store_path)
+    )
+    try:
+        start = time.perf_counter()
+        ids = engine.submit_batch(specs)
+        assert engine.drain(timeout=600)
+        elapsed = time.perf_counter() - start
+        metrics = engine.metrics()
+        assemblies = _assemblies(engine, ids)
+    finally:
+        engine.shutdown(drain=False)
+    return {
+        "workers": workers,
+        "requests": len(specs),
+        "elapsed_seconds": round(elapsed, 3),
+        "requests_per_second": round(len(specs) / elapsed, 4),
+        "coalesced": metrics["jobs"]["coalesced"],
+        "store": metrics["store"],
+    }, assemblies
+
+
+def test_service_throughput(report):
+    sequential = _sequential_cli()
+
+    store_path = os.path.join(output_dir(), "bench_service_store.sqlite")
+    if os.path.exists(store_path):
+        os.remove(store_path)
+
+    batches = []
+    cold_assemblies = None
+    for workers in (1, 2, 4):
+        # Each worker count gets a cold store (fresh file keyspace via
+        # removal) so runs are comparable.
+        os.path.exists(store_path) and os.remove(store_path)
+        entry, assemblies = _batch_run(workers, store_path)
+        batches.append(entry)
+        cold_assemblies = assemblies
+
+    # Warm rerun: a *new* engine against the surviving 4-worker store.
+    warm_entry, warm_assemblies = _batch_run(4, store_path)
+    identical = warm_assemblies == cold_assemblies
+    warm = {
+        "hit_rate": warm_entry["store"]["hit_rate"],
+        "requests_per_second": warm_entry["requests_per_second"],
+        "assembly_identical": identical,
+    }
+
+    best = max(b["requests_per_second"] for b in batches)
+    speedup = best / sequential["requests_per_second"]
+    result = {
+        "workloads": WORKLOADS,
+        "repeats": REPEATS,
+        "sequential_cli": sequential,
+        "batch": batches,
+        "warm_store": warm,
+        "speedup_vs_sequential": round(speedup, 2),
+    }
+    with open(os.path.join(output_dir(), "bench_service.json"), "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    lines = [
+        "mode                 req   req/s   notes",
+        "sequential CLI      %4d  %6.2f   full cold start per request"
+        % (sequential["requests"], sequential["requests_per_second"]),
+    ]
+    for entry in batches:
+        lines.append(
+            "batch %d worker(s)   %4d  %6.2f   %d coalesced, %.0f%% store hits"
+            % (
+                entry["workers"],
+                entry["requests"],
+                entry["requests_per_second"],
+                entry["coalesced"],
+                100 * entry["store"]["hit_rate"],
+            )
+        )
+    lines.append(
+        "warm store          %4d  %6.2f   hit rate %.0f%%, identical=%s"
+        % (
+            warm_entry["requests"],
+            warm["requests_per_second"],
+            100 * warm["hit_rate"],
+            identical,
+        )
+    )
+    lines.append("speedup (best batch vs sequential): %.2fx" % speedup)
+    report("service throughput (fig2 + byteswap4 + checksum, x%d)" % REPEATS,
+           "\n".join(lines))
+
+    assert speedup >= 2.0, "batch must be >= 2x the sequential CLI"
+    assert warm["hit_rate"] >= 0.9
+    assert identical

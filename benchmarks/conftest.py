@@ -3,7 +3,9 @@
 Each ``bench_*.py`` module regenerates one table or figure of the paper's
 evaluation (see DESIGN.md's experiment index).  Benchmarks print a
 paper-vs-measured table; run with ``pytest benchmarks/ --benchmark-only -s``
-to see the tables inline, or read ``bench_output.txt``.
+to see the tables inline, or read ``bench_output.txt``.  Generated
+telemetry (``bench_stages.json``, ``bench_service.json``) lands in the
+git-ignored ``benchmarks/out/`` directory.
 """
 
 from __future__ import annotations
@@ -14,8 +16,15 @@ import os
 import pytest
 
 from repro import DenaliConfig, SearchStrategy, const, inp, mk
-from repro.core.session import add_observer, remove_observer
+from repro.core.session import add_observer, aggregate_stats, remove_observer
 from repro.matching import SaturationConfig
+
+
+def output_dir() -> str:
+    """``benchmarks/out/``, created on demand (git-ignored)."""
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+    os.makedirs(path, exist_ok=True)
+    return path
 
 
 def byteswap_goal(n: int):
@@ -45,7 +54,7 @@ def stage_stats(request):
     Each compilation that finishes during the test announces its
     :class:`~repro.core.session.StageStats` to this observer; the
     breakdowns are aggregated per test and dumped to
-    ``bench_stages.json`` at the end of the run (see
+    ``benchmarks/out/bench_stages.json`` at the end of the run (see
     ``pytest_sessionfinish``).
     """
     collected = []
@@ -53,42 +62,18 @@ def stage_stats(request):
     yield collected
     remove_observer(collected.append)
     if collected:
-        _STAGE_RECORDS.append(
-            {
-                "test": request.node.nodeid,
-                "sessions": len(collected),
-                "timings": _sum_timings(collected),
-                "cache": _sum_cache(collected),
-                "probes": sum(len(s.probes) for s in collected),
-            }
-        )
+        record = {"test": request.node.nodeid}
+        record.update(aggregate_stats(collected))
+        _STAGE_RECORDS.append(record)
 
 
 _STAGE_RECORDS = []
 
 
-def _sum_timings(collected):
-    totals = {}
-    for stats in collected:
-        for stage, seconds in stats.timings.items():
-            totals[stage] = totals.get(stage, 0.0) + seconds
-    return {k: round(v, 6) for k, v in totals.items()}
-
-
-def _sum_cache(collected):
-    totals = {}
-    for stats in collected:
-        for key, value in stats.cache.items():
-            totals[key] = totals.get(key, 0) + value
-    return totals
-
-
 def pytest_sessionfinish(session):
     if not _STAGE_RECORDS:
         return
-    path = os.path.join(
-        os.path.dirname(os.path.abspath(__file__)), "bench_stages.json"
-    )
+    path = os.path.join(output_dir(), "bench_stages.json")
     try:
         with open(path, "w") as handle:
             json.dump({"tests": _STAGE_RECORDS}, handle, indent=2)

@@ -8,9 +8,19 @@ Usage::
     python -m repro program.dn --max-cycles 12 --strategy linear
     python -m repro program.dn --dimacs out/    # also dump the CNF probes
 
+    python -m repro serve --port 8642 --workers 4 --store denali.sqlite
+    python -m repro batch a.dn b.dn --workers 4 --store denali.sqlite
+    python -m repro batch a.dn --url http://127.0.0.1:8642
+
 The input is the paper's Figure 6 syntax (``\\opdecl`` / ``\\axiom`` /
 ``\\procdecl``).  Each procedure is translated to its GMAs; each GMA is
-superoptimized and printed with its statistics.
+superoptimized and printed with its statistics.  The ``serve`` and
+``batch`` verbs run the same pipeline through the long-lived compilation
+service (:mod:`repro.service`): a worker pool with a persistent result
+store, amortizing axiom compilation and saturation across requests.
+
+Exit codes: 0 success, 1 compilation/verification failure, 2 usage or
+input error, 130 interrupted.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.axioms import (
     AxiomSet,
     alpha_axioms,
@@ -26,7 +37,7 @@ from repro.axioms import (
     math_axioms,
 )
 from repro.core.pipeline import Denali, DenaliConfig
-from repro.core.search import SearchStrategy
+from repro.core.probes import SearchStrategy
 from repro.isa import ev6, itanium_like, simple_risc
 from repro.lang import parse_program, translate_procedure
 from repro.matching import SaturationConfig
@@ -37,23 +48,14 @@ _ARCHS = {
     "simple": simple_risc,
 }
 
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPTED = 130
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Denali-style superoptimizing code generator",
-    )
-    parser.add_argument(
-        "source",
-        nargs="?",
-        default=None,
-        help="Denali source file (Figure 6 syntax)",
-    )
-    parser.add_argument(
-        "--list-axioms",
-        action="store_true",
-        help="print the built-in axiom corpus and exit",
-    )
+
+def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the one-shot compiler and the batch verb."""
     parser.add_argument(
         "--proc", help="compile only this procedure", default=None
     )
@@ -100,6 +102,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the differential correctness check",
     )
     parser.add_argument(
+        "--quiet", action="store_true", help="print assembly only"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Denali-style superoptimizing code generator",
+    )
+    parser.add_argument(
+        "--version", action="version", version="repro %s" % __version__
+    )
+    parser.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="Denali source file (Figure 6 syntax)",
+    )
+    parser.add_argument(
+        "--list-axioms",
+        action="store_true",
+        help="print the built-in axiom corpus and exit",
+    )
+    _add_pipeline_arguments(parser)
+    parser.add_argument(
         "--dimacs",
         metavar="DIR",
         default=None,
@@ -113,9 +140,6 @@ def build_parser() -> argparse.ArgumentParser:
         "hit/miss counters for every probe) to FILE",
     )
     parser.add_argument(
-        "--quiet", action="store_true", help="print assembly only"
-    )
-    parser.add_argument(
         "--whole",
         action="store_true",
         help="emit complete procedures (loop labels, branches, late moves) "
@@ -124,7 +148,138 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="run the compilation service (JSON over HTTP)",
+    )
+    parser.add_argument(
+        "--version", action="version", version="repro %s" % __version__
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker process count"
+    )
+    parser.add_argument(
+        "--store",
+        metavar="FILE",
+        default=None,
+        help="sqlite result store (default: in-memory, lost on exit)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries for crashed/timed-out jobs",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="default per-job wall-clock bound in seconds",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    return parser
+
+
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="compile a batch of source files through the service",
+    )
+    parser.add_argument(
+        "--version", action="version", version="repro %s" % __version__
+    )
+    parser.add_argument(
+        "sources", nargs="+", help="Denali source files (Figure 6 syntax)"
+    )
+    _add_pipeline_arguments(parser)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker process count (local engine mode)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="FILE",
+        default=None,
+        help="sqlite result store (local engine mode; default in-memory)",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="send the batch to a running `repro serve` instead of "
+        "spawning a local engine",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="submit the file list N times (duplicates coalesce onto one "
+        "compilation)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock bound in seconds",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        default=None,
+        help="write the service metrics (throughput, latency, store hit "
+        "rate, per-worker stages) to FILE",
+    )
+    return parser
+
+
+# -- entry point ---------------------------------------------------------------
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    """Dispatch to the one-shot compiler or a service verb.
+
+    Always returns an exit status (argparse's own ``SystemExit`` — help,
+    version, usage errors — is converted), so in-process callers never
+    have to catch.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    try:
+        if argv and argv[0] == "serve":
+            return _serve_main(argv[1:])
+        if argv and argv[0] == "batch":
+            return _batch_main(argv[1:])
+        return _compile_main(argv)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: not our error.
+        # Point stdout at devnull so the interpreter's exit flush doesn't
+        # raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_OK
+    except SystemExit as exc:  # argparse --help/--version/usage errors
+        code = exc.code
+        if code is None:
+            return EXIT_OK
+        return code if isinstance(code, int) else EXIT_USAGE
+
+
+def _compile_main(argv: List[str]) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_axioms:
@@ -140,29 +295,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             for axiom in axset:
                 print(axiom.pretty())
             print()
-        return 0
+        return EXIT_OK
 
     if args.source is None:
         print("error: a source file is required (or --list-axioms)",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     try:
         with open(args.source) as handle:
             source = handle.read()
     except OSError as exc:
         print("error: %s" % exc, file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     try:
         program = parse_program(source)
     except Exception as exc:
         print("parse error: %s" % exc, file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     if not program.procedures:
         print("error: no procedures in %s" % args.source, file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     if args.arch == "ev6":
         spec = ev6(load_latency=args.load_latency)
@@ -199,9 +354,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             procedures = [program.procedure(args.proc)]
         except KeyError as exc:
             print("error: %s" % exc, file=sys.stderr)
-            return 2
+            return EXIT_USAGE
 
-    status = 0
+    status = EXIT_OK
     for proc in procedures:
         if args.whole:
             try:
@@ -209,13 +364,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             except Exception as exc:
                 print("error compiling %s: %s" % (proc.name, exc),
                       file=sys.stderr)
-                status = 1
+                status = EXIT_FAILURE
                 continue
             print(result.assembly)
             if not args.quiet:
                 print("; all GMAs verified: %s" % result.all_verified())
             if not result.all_verified():
-                status = 1
+                status = EXIT_FAILURE
             print()
             continue
         try:
@@ -223,7 +378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except Exception as exc:
             print("translation error in %s: %s" % (proc.name, exc),
                   file=sys.stderr)
-            status = 1
+            status = EXIT_FAILURE
             continue
         for label, gma in gmas:
             if not args.quiet:
@@ -235,7 +390,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     % (label, args.max_cycles, result.search.proved_floor),
                     file=sys.stderr,
                 )
-                status = 1
+                status = EXIT_FAILURE
                 continue
             if args.dimacs:
                 _dump_dimacs(args.dimacs, label, den, gma, result)
@@ -251,7 +406,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     )
                 )
             if result.verified is False:
-                status = 1
+                status = EXIT_FAILURE
             print()
 
     if args.stats_json:
@@ -263,8 +418,182 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError as exc:
             print("error writing %s: %s" % (args.stats_json, exc),
                   file=sys.stderr)
-            status = 1
+            status = EXIT_FAILURE
     return status
+
+
+# -- service verbs -------------------------------------------------------------
+
+
+def _serve_main(argv: List[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    from repro.service import CompilationEngine, ResultStore, ServiceServer
+
+    engine = CompilationEngine(
+        workers=args.workers,
+        store=ResultStore(args.store),
+        max_retries=args.max_retries,
+        default_timeout=args.job_timeout,
+    )
+    server = ServiceServer(
+        engine, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(
+        "repro service listening on %s (%d workers, store=%s)"
+        % (server.url, args.workers, args.store or "memory"),
+        file=sys.stderr,
+    )
+    try:
+        server.serve_until_shutdown()
+    except KeyboardInterrupt:
+        print("draining...", file=sys.stderr)
+        server.stop()
+        return EXIT_INTERRUPTED
+    return EXIT_OK
+
+
+def _batch_specs(args) -> List:
+    """One JobSpec per source file (times ``--repeat``)."""
+    from repro.service import JobSpec
+
+    specs = []
+    for path in args.sources:
+        with open(path) as handle:
+            source = handle.read()
+        specs.append(
+            JobSpec(
+                kind="compile",
+                source=source,
+                name=path,
+                proc=args.proc,
+                arch=args.arch,
+                min_cycles=args.min_cycles,
+                max_cycles=args.max_cycles,
+                strategy=args.strategy,
+                max_rounds=args.max_rounds,
+                max_enodes=args.max_enodes,
+                verify=not args.no_verify,
+                load_latency=args.load_latency,
+                miss_latency=args.miss_latency,
+                timeout_seconds=args.job_timeout,
+            )
+        )
+    return specs * max(1, args.repeat)
+
+
+def _print_batch_result(name: str, payload: Optional[dict], quiet: bool) -> int:
+    """Render one job's units; returns the job's exit contribution."""
+    status = EXIT_OK
+    if payload is None or not payload.get("ok"):
+        status = EXIT_FAILURE
+    if not quiet:
+        print("; === %s" % name)
+    for unit in (payload or {}).get("units", []):
+        if unit.get("assembly") is None:
+            print(
+                "; %s: no schedule (%s)"
+                % (unit.get("label"), unit.get("summary")),
+                file=sys.stderr,
+            )
+            continue
+        print(unit["assembly"])
+        if not quiet:
+            print("; %s" % unit.get("summary"))
+        print()
+    return status
+
+
+def _batch_main(argv: List[str]) -> int:
+    args = build_batch_parser().parse_args(argv)
+    try:
+        specs = _batch_specs(args)
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.url is not None:
+        return _batch_remote(args, specs)
+    return _batch_local(args, specs)
+
+
+def _batch_remote(args, specs) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    status = EXIT_OK
+    try:
+        ids = client.submit(specs)
+        for spec, job_id in zip(specs, ids):
+            try:
+                wrapper = client.result(job_id, timeout=args.job_timeout or 300.0)
+            except ServiceError as exc:
+                print("error: %s" % exc, file=sys.stderr)
+                status = EXIT_FAILURE
+                continue
+            status = max(
+                status,
+                _print_batch_result(
+                    spec.name, wrapper.get("result"), args.quiet
+                ),
+            )
+        metrics = client.metrics()
+    except ServiceError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_FAILURE
+    _report_metrics(args, metrics)
+    return status
+
+
+def _batch_local(args, specs) -> int:
+    from repro.service import CompilationEngine, ResultStore
+
+    engine = CompilationEngine(
+        workers=args.workers,
+        store=ResultStore(args.store),
+        default_timeout=args.job_timeout,
+    )
+    status = EXIT_OK
+    try:
+        ids = engine.submit_batch(specs)
+        engine.drain()
+        for spec, job_id in zip(specs, ids):
+            status = max(
+                status,
+                _print_batch_result(
+                    spec.name, engine.result(job_id, wait=False), args.quiet
+                ),
+            )
+        metrics = engine.metrics()
+    finally:
+        engine.shutdown(drain=False)
+    _report_metrics(args, metrics)
+    return status
+
+
+def _report_metrics(args, metrics: dict) -> None:
+    if not args.quiet:
+        store = metrics.get("store", {})
+        throughput = metrics.get("throughput", {})
+        print(
+            "; batch: %d done, %.2f jobs/s, %d coalesced, "
+            "store hit rate %.0f%%"
+            % (
+                throughput.get("done", 0),
+                throughput.get("jobs_per_second", 0.0),
+                metrics.get("jobs", {}).get("coalesced", 0),
+                100.0 * store.get("hit_rate", 0.0),
+            ),
+            file=sys.stderr,
+        )
+    if args.metrics_json:
+        import json
+
+        with open(args.metrics_json, "w") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+# -- reports -------------------------------------------------------------------
 
 
 def _write_stats_json(args, collected) -> None:
@@ -272,24 +601,14 @@ def _write_stats_json(args, collected) -> None:
     import json
 
     from repro.core.cache import global_axiom_cache, global_saturation_cache
+    from repro.core.session import aggregate_stats
 
-    totals = {}
-    cache_totals = {}
-    for stats in collected:
-        for stage, seconds in stats.timings.items():
-            totals[stage] = totals.get(stage, 0.0) + seconds
-        for key, value in stats.cache.items():
-            cache_totals[key] = cache_totals.get(key, 0) + value
     report = {
         "source": args.source,
         "arch": args.arch,
         "strategy": args.strategy,
         "gmas": [stats.to_dict() for stats in collected],
-        "totals": {
-            "timings": {k: round(v, 6) for k, v in totals.items()},
-            "probes": sum(len(s.probes) for s in collected),
-            "cache": cache_totals,
-        },
+        "totals": aggregate_stats(collected),
         "global_caches": {
             "saturation": global_saturation_cache().stats.to_dict(),
             "axiom_corpus": global_axiom_cache().stats.to_dict(),

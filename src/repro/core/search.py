@@ -1,9 +1,18 @@
-"""Backward-compatible façade over :mod:`repro.core.probes`.
+"""Deprecated façade over :mod:`repro.core.probes`.
 
 The cycle-budget search grew into the pluggable probe-scheduler layer in
 ``repro.core.probes``; this module keeps the historical import path
-(``from repro.core.search import search_min_cycles``) working.
+(``from repro.core.search import search_min_cycles``) working for one
+more release.  Import from :mod:`repro.core.probes` instead.
 """
+
+import warnings
+
+warnings.warn(
+    "repro.core.search is deprecated; import from repro.core.probes",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.core.probes import (
     BinaryScheduler,

@@ -89,6 +89,27 @@ class StageStats:
         }
 
 
+def aggregate_stats(collected: List["StageStats"]) -> dict:
+    """Sum per-stage timings and cache counters over many sessions.
+
+    Shared by the CLI's ``--stats-json`` report, the benchmark harness's
+    per-test breakdowns and the compilation service's per-worker metrics.
+    """
+    timings: Dict[str, float] = {}
+    cache: Dict[str, int] = {}
+    for stats in collected:
+        for stage, seconds in stats.timings.items():
+            timings[stage] = timings.get(stage, 0.0) + seconds
+        for key, value in stats.cache.items():
+            cache[key] = cache.get(key, 0) + value
+    return {
+        "sessions": len(collected),
+        "probes": sum(len(s.probes) for s in collected),
+        "timings": {k: round(v, 6) for k, v in timings.items()},
+        "cache": cache,
+    }
+
+
 # -- observers ----------------------------------------------------------------
 
 _observers: List[Callable[[StageStats], None]] = []

@@ -1,0 +1,52 @@
+"""The compilation service: a long-lived, batch-oriented front end.
+
+The one-shot CLI pays full cold start (interpreter launch, axiom
+compilation, E-graph saturation) on every invocation.  This package
+turns the staged-session machinery of ``repro.core`` into a serving
+subsystem with three layers:
+
+* **job engine** (:mod:`repro.service.jobs`, :mod:`repro.service.pool`)
+  — fans a batch of compilation requests out over a ``multiprocessing``
+  worker pool, with per-job timeouts wired into the solver's deadline
+  hooks, bounded retries with backoff for crashed workers, and graceful
+  drain/cancellation;
+* **persistent result store** (:mod:`repro.service.store`) — extends the
+  in-process fingerprint caches of ``repro.core.cache`` to an on-disk
+  sqlite store, so warm results and compiled axiom corpora survive
+  process restarts; identical in-flight requests are coalesced so each
+  distinct goal compiles once;
+* **front end** (:mod:`repro.service.server`,
+  :mod:`repro.service.client`) — a stdlib-only JSON-over-HTTP server
+  exposing submit/status/result/metrics endpoints, and the matching
+  client used by ``repro batch --url``.
+
+The CLI verbs ``repro serve`` and ``repro batch`` are thin wrappers over
+these layers.
+"""
+
+from repro.service.jobs import (
+    CompilationEngine,
+    JobError,
+    JobSpec,
+    JobState,
+    job_fingerprint,
+    run_job,
+)
+from repro.service.pool import WorkerPool
+from repro.service.store import ResultStore
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "CompilationEngine",
+    "JobError",
+    "JobSpec",
+    "JobState",
+    "job_fingerprint",
+    "run_job",
+    "WorkerPool",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+]

@@ -1,0 +1,128 @@
+"""Stdlib HTTP client for the compilation service.
+
+Used by ``repro batch --url`` and the service tests; no dependencies
+beyond ``urllib``.  All methods raise :class:`ServiceError` on transport
+failures or non-2xx responses (except 202, which :meth:`result` treats
+as "not done yet").
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.service.jobs import JobSpec
+
+
+class ServiceError(Exception):
+    """Transport or protocol failure talking to the service."""
+
+
+class ServiceClient:
+    """Talks JSON to a :class:`~repro.service.server.ServiceServer`.
+
+    Args:
+        url: base URL, e.g. ``http://127.0.0.1:8642``.
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(
+        self, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.url + path, data=data, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+                payload["_http_status"] = resp.status
+                return payload
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                detail = {}
+            if exc.code == 202:  # result not ready: not an error
+                detail["_http_status"] = 202
+                return detail
+            raise ServiceError(
+                "HTTP %d on %s: %s"
+                % (exc.code, path, detail.get("error", exc.reason))
+            )
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError("cannot reach %s: %s" % (self.url, exc))
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> bool:
+        return bool(self._request("/healthz").get("ok"))
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("/v1/metrics")
+
+    def submit(self, specs: Sequence[JobSpec]) -> List[str]:
+        body = {"jobs": [spec.to_dict() for spec in specs]}
+        return self._request("/v1/submit", body)["ids"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("/v1/jobs/%s" % job_id)
+
+    def result(
+        self,
+        job_id: str,
+        wait: bool = True,
+        poll: float = 0.1,
+        timeout: Optional[float] = 120.0,
+    ) -> Dict[str, Any]:
+        """The job's result wrapper; polls until done when ``wait``.
+
+        Returns the server's ``/result`` payload: ``{"state": "done",
+        "from_store": ..., "result": {...}}``.  Raises ServiceError if
+        the job failed or the wait timed out.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            payload = self._request("/v1/jobs/%s/result" % job_id)
+            if payload.get("_http_status") != 202:
+                if payload.get("state") != "done":
+                    raise ServiceError(
+                        "job %s %s: %s"
+                        % (job_id, payload.get("state"), payload.get("error"))
+                    )
+                return payload
+            if not wait:
+                return payload
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError("timed out waiting for job %s" % job_id)
+            time.sleep(poll)
+
+    def shutdown(self) -> None:
+        self._request("/v1/shutdown", body={})
+
+    # -- convenience -------------------------------------------------------
+
+    def run_batch(
+        self,
+        specs: Sequence[JobSpec],
+        poll: float = 0.1,
+        timeout: Optional[float] = 300.0,
+    ) -> List[Dict[str, Any]]:
+        """Submit a batch and wait for every result (in submit order)."""
+        ids = self.submit(specs)
+        return [
+            self.result(job_id, poll=poll, timeout=timeout) for job_id in ids
+        ]

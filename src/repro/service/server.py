@@ -1,0 +1,194 @@
+"""Stdlib JSON-over-HTTP front end for the compilation engine.
+
+Endpoints (all JSON):
+
+* ``GET  /healthz`` — liveness probe.
+* ``POST /v1/submit`` — body ``{"jobs": [<spec>, ...]}``; returns
+  ``{"ids": [...]}``.  Coalesced or store-served jobs return the
+  existing/done job's id.
+* ``GET  /v1/jobs/<id>`` — job status record.
+* ``GET  /v1/jobs/<id>/result`` — the result payload; ``202`` while the
+  job is still pending/running, ``500`` wrapper if it failed.
+* ``GET  /v1/metrics`` — engine metrics (throughput, latency
+  percentiles, store hit rate, per-worker stage timings).
+* ``POST /v1/shutdown`` — asks the server loop to stop (used by tests
+  and ``repro serve``'s own signal handling).
+
+``http.server`` is explicitly fine here: the handlers only touch the
+thread-safe engine, responses are small JSON blobs, and the service is
+meant for trusted lab/CI networks — not the open internet.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.jobs import CompilationEngine, JobError, JobSpec, JobState
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set by ServiceServer:
+    engine: CompilationEngine = None  # type: ignore[assignment]
+    verbose: bool = False
+    shutdown_event: threading.Event = None  # type: ignore[assignment]
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if self.verbose:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    def _send(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b"{}"
+            data = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send(400, {"error": "malformed JSON body"})
+            return None
+        if not isinstance(data, dict):
+            self._send(400, {"error": "body must be a JSON object"})
+            return None
+        return data
+
+    def _job_route(self) -> Optional[Tuple[str, bool]]:
+        """Parse ``/v1/jobs/<id>[/result]``; None if not that route."""
+        parts = self.path.rstrip("/").split("/")
+        if len(parts) == 4 and parts[:3] == ["", "v1", "jobs"]:
+            return parts[3], False
+        if len(parts) == 5 and parts[:3] == ["", "v1", "jobs"] and parts[4] == "result":
+            return parts[3], True
+        return None
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/healthz":
+            self._send(200, {"ok": True})
+            return
+        if self.path == "/v1/metrics":
+            self._send(200, self.engine.metrics())
+            return
+        route = self._job_route()
+        if route is not None:
+            job_id, want_result = route
+            status = self.engine.status(job_id)
+            if status is None:
+                self._send(404, {"error": "unknown job %r" % job_id})
+                return
+            if not want_result:
+                self._send(200, status)
+                return
+            state = status["state"]
+            if state in (JobState.PENDING, JobState.RUNNING):
+                self._send(202, {"state": state})
+                return
+            if state != JobState.DONE:
+                self._send(
+                    500, {"state": state, "error": status.get("error")}
+                )
+                return
+            self._send(
+                200,
+                {
+                    "state": state,
+                    "from_store": status["from_store"],
+                    "result": self.engine.result(job_id, wait=False),
+                },
+            )
+            return
+        self._send(404, {"error": "no such route %r" % self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/v1/submit":
+            data = self._read_json()
+            if data is None:
+                return
+            jobs = data.get("jobs")
+            if not isinstance(jobs, list) or not jobs:
+                self._send(400, {"error": "'jobs' must be a non-empty list"})
+                return
+            try:
+                specs = [JobSpec.from_dict(item) for item in jobs]
+                ids = self.engine.submit_batch(specs)
+            except (JobError, TypeError) as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            self._send(200, {"ids": ids})
+            return
+        if self.path == "/v1/shutdown":
+            self._send(200, {"ok": True})
+            self.shutdown_event.set()
+            return
+        self._send(404, {"error": "no such route %r" % self.path})
+
+
+class ServiceServer:
+    """Owns the HTTP server + engine pair; serves until asked to stop."""
+
+    def __init__(
+        self,
+        engine: CompilationEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.engine = engine
+        self._shutdown_event = threading.Event()
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {
+                "engine": engine,
+                "verbose": verbose,
+                "shutdown_event": self._shutdown_event,
+            },
+        )
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self.host, self.port = self.httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def start(self) -> None:
+        """Serve on a background thread (tests and ``repro batch --serve``)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+            name="repro-service-http",
+        )
+        self._thread.start()
+
+    def serve_until_shutdown(self) -> None:
+        """Serve on this thread until ``/v1/shutdown`` (or ``stop()``)."""
+        self.start()
+        self._shutdown_event.wait()
+        self.stop()
+
+    def request_shutdown(self) -> None:
+        self._shutdown_event.set()
+
+    def stop(self, drain: bool = True) -> None:
+        self._shutdown_event.set()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        self.engine.shutdown(drain=drain)

@@ -1,0 +1,185 @@
+"""Persistent result store with in-memory fallback.
+
+The in-process caches of :mod:`repro.core.cache` die with the process;
+this module extends their fingerprint keys to an on-disk sqlite store so
+warm compilation results — and the compiled built-in axiom corpus —
+survive restarts.  Payloads are JSON (results) and pickle (axiom
+corpora: plain frozen dataclasses of patterns, no interned terms).
+
+A store created with ``path=None`` keeps everything in a dict: same
+interface, process lifetime only.  All methods are thread-safe; only the
+engine process touches the store (workers return results over the pool's
+queues), so no cross-process locking is needed beyond sqlite's own.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sqlite3
+import threading
+import time
+from typing import Any, Dict, Optional
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT PRIMARY KEY,
+    payload     TEXT NOT NULL,
+    created_at  REAL NOT NULL,
+    hits        INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS corpora (
+    key        TEXT PRIMARY KEY,
+    blob       BLOB NOT NULL,
+    created_at REAL NOT NULL
+);
+"""
+
+
+class StoreStats:
+    """Hit/miss/write counters of one store instance."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultStore:
+    """Fingerprint-keyed store of finished compilation results.
+
+    Args:
+        path: sqlite database file (created if missing), or ``None`` for
+            an ephemeral in-memory store.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        self._mem: Optional[Dict[str, str]] = None
+        self._mem_corpora: Optional[Dict[str, bytes]] = None
+        self._db: Optional[sqlite3.Connection] = None
+        if path is None:
+            self._mem = {}
+            self._mem_corpora = {}
+        else:
+            # One shared connection, serialized by our lock (handlers may
+            # call from several server threads).
+            self._db = sqlite3.connect(path, check_same_thread=False)
+            self._db.executescript(_SCHEMA)
+            self._db.commit()
+
+    # -- results -----------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The stored payload for ``fingerprint``, or None (counted)."""
+        with self._lock:
+            if self._mem is not None:
+                text = self._mem.get(fingerprint)
+            else:
+                row = self._db.execute(
+                    "SELECT payload FROM results WHERE fingerprint = ?",
+                    (fingerprint,),
+                ).fetchone()
+                text = row[0] if row else None
+                if row:
+                    self._db.execute(
+                        "UPDATE results SET hits = hits + 1 "
+                        "WHERE fingerprint = ?",
+                        (fingerprint,),
+                    )
+                    self._db.commit()
+            if text is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return json.loads(text)
+
+    def put(self, fingerprint: str, payload: dict) -> None:
+        text = json.dumps(payload, sort_keys=True)
+        with self._lock:
+            self.stats.writes += 1
+            if self._mem is not None:
+                self._mem[fingerprint] = text
+                return
+            self._db.execute(
+                "INSERT OR REPLACE INTO results "
+                "(fingerprint, payload, created_at, hits) VALUES (?, ?, ?, 0)",
+                (fingerprint, text, time.time()),
+            )
+            self._db.commit()
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            if self._mem is not None:
+                return fingerprint in self._mem
+            row = self._db.execute(
+                "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+            return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            if self._mem is not None:
+                return len(self._mem)
+            return self._db.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    # -- compiled axiom corpora --------------------------------------------
+
+    def corpus_get(self, key: str):
+        """Unpickle a persisted compiled axiom corpus, or None."""
+        with self._lock:
+            if self._mem_corpora is not None:
+                blob = self._mem_corpora.get(key)
+            else:
+                row = self._db.execute(
+                    "SELECT blob FROM corpora WHERE key = ?", (key,)
+                ).fetchone()
+                blob = row[0] if row else None
+        if blob is None:
+            return None
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            return None  # stale/incompatible blob: recompile instead
+
+    def corpus_put(self, key: str, corpus) -> None:
+        blob = pickle.dumps(corpus, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            if self._mem_corpora is not None:
+                self._mem_corpora[key] = blob
+                return
+            self._db.execute(
+                "INSERT OR REPLACE INTO corpora (key, blob, created_at) "
+                "VALUES (?, ?, ?)",
+                (key, blob, time.time()),
+            )
+            self._db.commit()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = self.stats.to_dict()
+        out["entries"] = len(self)
+        out["path"] = self.path
+        return out
+
+    def close(self) -> None:
+        with self._lock:
+            if self._db is not None:
+                self._db.close()
+                self._db = None

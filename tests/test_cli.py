@@ -162,3 +162,158 @@ class TestListAxioms:
         status = main([])
         assert status == 2
         assert "source file is required" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        status = main(["--version"])
+        assert status == 0
+        assert "repro %s" % __version__ in capsys.readouterr().out
+
+    def test_version_flag_on_verbs(self, capsys):
+        assert main(["serve", "--version"]) == 0
+        assert main(["batch", "--version"]) == 0
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "superoptimizing" in capsys.readouterr().out
+
+    def test_unknown_flag_is_usage_error(self, capsys):
+        status = main(["--no-such-flag"])
+        assert status == 2
+
+    def test_keyboard_interrupt_exits_130(self, source_file, capsys,
+                                          monkeypatch):
+        import repro.cli as cli
+
+        def boom(_source):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "parse_program", boom)
+        status = main([source_file(SIMPLE)])
+        assert status == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+
+class TestStatsJson:
+    def test_report_schema(self, source_file, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "stats.json")
+        status = main([source_file(SIMPLE), "--quiet", "--stats-json", path])
+        assert status == 0
+        report = json.load(open(path))
+        assert report["arch"] == "ev6"
+        assert report["strategy"] == "binary"
+        assert report["gmas"], "one record per compiled GMA"
+        gma = report["gmas"][0]
+        assert {"label", "timings", "probes", "cache"} <= set(gma)
+        totals = report["totals"]
+        assert totals["sessions"] == len(report["gmas"])
+        assert totals["probes"] >= 1
+        assert "saturation" in totals["timings"]
+        assert {"saturation", "axiom_corpus"} <= set(report["global_caches"])
+
+    def test_unwritable_path_fails(self, source_file, capsys):
+        status = main([source_file(SIMPLE), "--quiet",
+                       "--stats-json", "/nonexistent/dir/stats.json"])
+        assert status == 1
+        assert "error writing" in capsys.readouterr().err
+
+
+class TestServiceVerbs:
+    def test_batch_local_round_trip(self, source_file, capsys):
+        status = main(["batch", source_file(SIMPLE), "--workers", "1",
+                       "--strategy", "linear", "--max-cycles", "10"])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "s4addq" in captured.out
+        assert "batch:" in captured.err  # throughput summary line
+
+    def test_batch_repeat_coalesces(self, source_file, capsys, tmp_path):
+        import json
+
+        metrics_path = str(tmp_path / "metrics.json")
+        status = main(["batch", source_file(SIMPLE), "--workers", "1",
+                       "--strategy", "linear", "--max-cycles", "10",
+                       "--repeat", "3", "--quiet",
+                       "--metrics-json", metrics_path])
+        assert status == 0
+        metrics = json.load(open(metrics_path))
+        assert metrics["jobs"]["coalesced"] == 2
+        assert metrics["throughput"]["done"] == 1
+
+    def test_batch_missing_file_is_usage_error(self, capsys):
+        status = main(["batch", "/nonexistent/prog.dn"])
+        assert status == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_parse_error_fails(self, source_file, capsys):
+        status = main(["batch", source_file(BAD_SYNTAX), "--workers", "1"])
+        assert status == 1
+
+    def test_batch_against_running_server(self, source_file, capsys):
+        from repro.service import CompilationEngine, ServiceServer
+
+        engine = CompilationEngine(workers=1)
+        server = ServiceServer(engine, port=0)
+        server.start()
+        try:
+            status = main(["batch", source_file(SIMPLE), "--quiet",
+                           "--strategy", "linear", "--max-cycles", "10",
+                           "--url", server.url])
+            out = capsys.readouterr().out
+            assert status == 0
+            assert "s4addq" in out
+        finally:
+            server.stop(drain=False)
+
+    def test_batch_unreachable_server_fails(self, source_file, capsys):
+        status = main(["batch", source_file(SIMPLE),
+                       "--url", "http://127.0.0.1:9"])
+        assert status == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_serve_subprocess_round_trip(self, source_file, tmp_path):
+        """`repro serve` on an ephemeral port answers a compile and shuts
+        down cleanly on /v1/shutdown."""
+        import re
+        import subprocess
+        import sys
+
+        from repro.service import JobSpec, ServiceClient
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(root, "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1",
+             "--store", str(tmp_path / "store.sqlite")],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            banner = proc.stderr.readline()
+            match = re.search(r"http://[\d.]+:\d+", banner)
+            assert match, banner
+            client = ServiceClient(match.group(0), timeout=30.0)
+            assert client.health() is True
+            source = open(source_file(SIMPLE)).read()
+            ids = client.submit([JobSpec(
+                kind="compile", source=source, name="prog.dn",
+                strategy="linear", max_cycles=10,
+            )])
+            wrapper = client.result(ids[0], timeout=60)
+            assert "s4addq" in wrapper["result"]["units"][0]["assembly"]
+            client.shutdown()
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

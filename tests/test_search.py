@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.core.search import (
+from repro.core.probes import (
     CancelToken,
     PortfolioScheduler,
     Probe,
