@@ -102,6 +102,12 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         help="skip the differential correctness check",
     )
     parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="rebuild the SAT solver from scratch for every probe instead "
+        "of reusing one incremental solver per session",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="print assembly only"
     )
 
@@ -138,6 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a per-stage JSON report (timings, CNF sizes, cache "
         "hit/miss counters for every probe) to FILE",
+    )
+    parser.add_argument(
+        "--profile-json",
+        metavar="FILE",
+        default=None,
+        help="write a probe-ladder profile (per-probe propagations, "
+        "conflicts, learned-clause reuse, and wall time per stage) to FILE",
     )
     parser.add_argument(
         "--whole",
@@ -336,6 +349,7 @@ def _compile_main(argv: List[str]) -> int:
         strategy=SearchStrategy(args.strategy),
         verify=not args.no_verify,
         miss_latency=args.miss_latency,
+        enable_incremental_solver=not args.no_incremental,
         saturation=SaturationConfig(
             max_rounds=args.max_rounds, max_enodes=args.max_enodes
         ),
@@ -343,7 +357,7 @@ def _compile_main(argv: List[str]) -> int:
     den = Denali(spec, axioms=axioms, registry=program.registry, config=config)
 
     collected_stats = []
-    if args.stats_json:
+    if args.stats_json or args.profile_json:
         from repro.core.session import add_observer
 
         add_observer(collected_stats.append)
@@ -409,16 +423,24 @@ def _compile_main(argv: List[str]) -> int:
                 status = EXIT_FAILURE
             print()
 
-    if args.stats_json:
+    if args.stats_json or args.profile_json:
         from repro.core.session import remove_observer
 
         remove_observer(collected_stats.append)
-        try:
-            _write_stats_json(args, collected_stats)
-        except OSError as exc:
-            print("error writing %s: %s" % (args.stats_json, exc),
-                  file=sys.stderr)
-            status = EXIT_FAILURE
+        if args.stats_json:
+            try:
+                _write_stats_json(args, collected_stats)
+            except OSError as exc:
+                print("error writing %s: %s" % (args.stats_json, exc),
+                      file=sys.stderr)
+                status = EXIT_FAILURE
+        if args.profile_json:
+            try:
+                _write_profile_json(args, collected_stats)
+            except OSError as exc:
+                print("error writing %s: %s" % (args.profile_json, exc),
+                      file=sys.stderr)
+                status = EXIT_FAILURE
     return status
 
 
@@ -475,6 +497,7 @@ def _batch_specs(args) -> List:
                 verify=not args.no_verify,
                 load_latency=args.load_latency,
                 miss_latency=args.miss_latency,
+                incremental=not args.no_incremental,
                 timeout_seconds=args.job_timeout,
             )
         )
@@ -615,6 +638,62 @@ def _write_stats_json(args, collected) -> None:
         },
     }
     with open(args.stats_json, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def _write_profile_json(args, collected) -> None:
+    """Write the probe-ladder profile: where each compilation's time went.
+
+    Narrower than ``--stats-json``: per probe it keeps only the solver's
+    hot-path counters (propagations, conflicts, learned clauses and how
+    many carried over from earlier probes) plus the encode/solve/extract
+    wall-time split, and per GMA the stage totals — the numbers
+    ``benchmarks/bench_incremental.py`` tracks across PRs.
+    """
+    import json
+
+    gmas = []
+    totals = {"propagations": 0, "conflicts": 0, "learned": 0,
+              "learned_reused": 0}
+    for stats in collected:
+        probes = []
+        for p in stats.probes:
+            probes.append(
+                {
+                    "cycles": p.cycles,
+                    "satisfiable": p.satisfiable,
+                    "solver": p.solver,
+                    "propagations": p.propagations,
+                    "conflicts": p.conflicts,
+                    "learned": p.learned,
+                    "learned_reused": p.learned_reused,
+                    "encode_seconds": round(p.encode_seconds, 6),
+                    "solve_seconds": round(p.solve_seconds, 6),
+                    "extract_seconds": round(p.extract_seconds, 6),
+                }
+            )
+            totals["propagations"] += p.propagations
+            totals["conflicts"] += p.conflicts
+            totals["learned"] += p.learned
+            totals["learned_reused"] += p.learned_reused
+        gmas.append(
+            {
+                "label": stats.label,
+                "stage_seconds": {
+                    k: round(v, 6) for k, v in stats.timings.items()
+                },
+                "probes": probes,
+            }
+        )
+    report = {
+        "source": args.source,
+        "strategy": args.strategy,
+        "incremental": not args.no_incremental,
+        "gmas": gmas,
+        "totals": totals,
+    }
+    with open(args.profile_json, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
 

@@ -54,6 +54,11 @@ class DenaliConfig:
     enable_saturation_cache: bool = True
     # Share the budget-independent CNF prefix across a compilation's probes.
     enable_cnf_prefix_cache: bool = True
+    # Drive every probe of a session through one persistent incremental
+    # solver (assumption-gated budgets, learned-clause reuse).  Requires
+    # the CNF prefix cache; turning either off restores the PR 1
+    # from-scratch solver per probe.
+    enable_incremental_solver: bool = True
 
 
 @dataclass

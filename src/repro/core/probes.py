@@ -44,6 +44,7 @@ class Probe:
     vars: int = 0
     clauses: int = 0
     conflicts: int = 0
+    propagations: int = 0
     time_seconds: float = 0.0
     # Per-stage breakdown (filled by the session's instrumented probe).
     encode_seconds: float = 0.0
@@ -51,6 +52,11 @@ class Probe:
     extract_seconds: float = 0.0
     # Cycles of CNF prefix served from the cross-probe cache.
     prefix_cycles_reused: int = 0
+    # Clause learning: produced this probe / carried in from earlier probes
+    # of the same session ("scratch" probes always report 0 reused).
+    learned: int = 0
+    learned_reused: int = 0
+    solver: str = "scratch"
     cancelled: bool = False
 
     def to_dict(self) -> dict:
@@ -60,11 +66,15 @@ class Probe:
             "vars": self.vars,
             "clauses": self.clauses,
             "conflicts": self.conflicts,
+            "propagations": self.propagations,
             "time_seconds": self.time_seconds,
             "encode_seconds": self.encode_seconds,
             "solve_seconds": self.solve_seconds,
             "extract_seconds": self.extract_seconds,
             "prefix_cycles_reused": self.prefix_cycles_reused,
+            "learned": self.learned,
+            "learned_reused": self.learned_reused,
+            "solver": self.solver,
             "cancelled": self.cancelled,
         }
 

@@ -1,43 +1,3 @@
-"""Deprecated façade over :mod:`repro.core.probes`.
-
-The cycle-budget search grew into the pluggable probe-scheduler layer in
-``repro.core.probes``; this module keeps the historical import path
-(``from repro.core.search import search_min_cycles``) working for one
-more release.  Import from :mod:`repro.core.probes` instead.
-"""
-
-import warnings
-
-warnings.warn(
-    "repro.core.search is deprecated; import from repro.core.probes",
-    DeprecationWarning,
-    stacklevel=2,
+raise ImportError(
+    "repro.core.search was removed; import from repro.core.probes instead"
 )
-
-from repro.core.probes import (
-    BinaryScheduler,
-    CancelToken,
-    LinearScheduler,
-    PortfolioScheduler,
-    Probe,
-    ProbeFn,
-    ProbeScheduler,
-    SearchOutcome,
-    SearchStrategy,
-    get_scheduler,
-    search_min_cycles,
-)
-
-__all__ = [
-    "BinaryScheduler",
-    "CancelToken",
-    "LinearScheduler",
-    "PortfolioScheduler",
-    "Probe",
-    "ProbeFn",
-    "ProbeScheduler",
-    "SearchOutcome",
-    "SearchStrategy",
-    "get_scheduler",
-    "search_min_cycles",
-]

@@ -28,6 +28,7 @@ from repro.egraph.egraph import EGraph, ENode
 from repro.encode.constraints import IncrementalEncoder, encode_schedule
 from repro.lang.gma import GMA
 from repro.matching.saturation import SaturationStats, saturate
+from repro.sat.incremental import IncrementalSolver
 from repro.sat.solver import CdclSolver
 
 
@@ -52,6 +53,9 @@ class StageStats:
             "saturation_misses": 0,
             "cnf_prefix_cycles_reused": 0,
             "cnf_prefix_cycles_built": 0,
+            "solver_clauses_fed": 0,
+            "solver_learned_reused": 0,
+            "solver_learnts_dropped": 0,
         }
     )
     best_cycles: Optional[int] = None
@@ -170,6 +174,11 @@ class CompilationSession:
         self.stats = StageStats(label=label, strategy=self.config.strategy.value)
         self._lock = threading.Lock()  # guards the E-graph + encoder
         self._encoder: Optional[IncrementalEncoder] = None
+        # The persistent solver shared by every probe of this session
+        # (created in make_probe when the incremental path is enabled).
+        self._solver: Optional[IncrementalSolver] = None
+        self._fed_clauses = 0  # master clauses already handed to the solver
+        self._fed_budgets: set = set()
 
     # -- stage 1: saturation -------------------------------------------------
 
@@ -210,17 +219,105 @@ class CompilationSession:
         unsafe: Optional[Dict[ENode, int]],
         overrides: Optional[Dict[ENode, int]],
     ):
-        """The instrumented probe function handed to the scheduler."""
+        """The instrumented probe function handed to the scheduler.
+
+        Two probe flavours share one shape (encode, solve, maybe extract):
+
+        * **incremental** (default): one :class:`IncrementalSolver` serves
+          every probe of the session.  The encoder's master clauses are
+          fed exactly once (``_fed_clauses`` marks how far), each budget's
+          gated suffix is fed on first probe, and the solve runs under the
+          budget's selector assumptions.  Definite verdicts retire the
+          budget — schedulers never revisit an answered budget — which
+          drops its selector-local learnt clauses.
+        * **scratch**: PR 1 behaviour, a fresh :class:`CdclSolver` per
+          probe; kept as the reference path for the differential tests
+          and the benchmark baseline.
+        """
         from repro.core.extraction import extract_schedule
 
         cfg = self.config
+        use_incremental = bool(
+            cfg.enable_incremental_solver and cfg.enable_cnf_prefix_cache
+        )
         if cfg.enable_cnf_prefix_cache:
             with self._lock:
                 self._encoder = IncrementalEncoder(
                     eg, self.spec, goal_ids, cfg.encoding, unsafe, overrides
                 )
+                if use_incremental:
+                    self._solver = IncrementalSolver()
+                    self._fed_clauses = 0
+                    self._fed_budgets = set()
 
-        def probe(k: int, cancel=None):
+        def probe_incremental(k: int, cancel=None):
+            p = Probe(cycles=k, satisfiable=None, solver="incremental")
+            enc, solver = self._encoder, self._solver
+            t0 = time.perf_counter()
+            with self._lock:
+                reused = enc.ensure_budget(k)
+                p.prefix_cycles_reused = reused
+                self.stats.cache["cnf_prefix_cycles_reused"] += reused
+                self.stats.cache["cnf_prefix_cycles_built"] += k - reused
+                # Feed the solver everything it has not seen yet: the new
+                # master (cycle-block) clauses, then this budget's gated
+                # suffix.  Both are root-level adds; the solver's own lock
+                # makes them wait for any in-flight portfolio solve.
+                solver.ensure_vars(enc.master.num_vars)
+                master_clauses = enc.master.clauses
+                if self._fed_clauses < len(master_clauses):
+                    solver.add_clauses(
+                        master_clauses[self._fed_clauses:], trusted=True
+                    )
+                    self.stats.cache["solver_clauses_fed"] += (
+                        len(master_clauses) - self._fed_clauses
+                    )
+                    self._fed_clauses = len(master_clauses)
+                if k not in self._fed_budgets:
+                    gated = enc.budget_clauses(k)
+                    solver.add_clauses(gated, trusted=True)
+                    solver.push_budget(k, enc.selector(k))
+                    self.stats.cache["solver_clauses_fed"] += len(gated)
+                    self._fed_budgets.add(k)
+                size = enc.budget_stats(k)
+            t1 = time.perf_counter()
+            p.encode_seconds = t1 - t0
+            self.stats.add_time("encode", p.encode_seconds)
+            p.vars, p.clauses = size["vars"], size["clauses"]
+            res = solver.solve_budget(
+                k,
+                conflict_budget=cfg.solver_conflict_budget,
+                deadline_seconds=cfg.solver_deadline_seconds,
+                stop_check=cancel,
+                canonical_model=True,
+            )
+            p.satisfiable = res.satisfiable
+            p.conflicts = res.stats.conflicts
+            p.propagations = res.stats.propagations
+            p.learned = res.stats.learned
+            p.learned_reused = res.stats.learned_kept
+            p.solve_seconds = res.stats.time_seconds
+            p.time_seconds = res.stats.time_seconds
+            self.stats.add_time("sat", p.solve_seconds)
+            self.stats.cache["solver_learned_reused"] += res.stats.learned_kept
+            payload = None
+            if res.satisfiable:
+                t2 = time.perf_counter()
+                with self._lock:
+                    payload = extract_schedule(
+                        eg, enc.decode_view(k), res.model, input_registers
+                    )
+                p.extract_seconds = time.perf_counter() - t2
+                self.stats.add_time("extract", p.extract_seconds)
+            if res.satisfiable is not None:
+                # Answered budgets are never probed again; retiring frees
+                # the selector's learnt clauses for the remaining ladder.
+                self.stats.cache["solver_learnts_dropped"] += (
+                    solver.retire_budget(k)
+                )
+            return res.satisfiable, payload, p
+
+        def probe_scratch(k: int, cancel=None):
             p = Probe(cycles=k, satisfiable=None)
             t0 = time.perf_counter()
             with self._lock:
@@ -249,9 +346,11 @@ class CompilationSession:
                 deadline_seconds=cfg.solver_deadline_seconds,
                 stop_check=cancel,
             )
-            res = solver.solve(encoding.cnf)
+            res = solver.solve(encoding.cnf, canonical_model=True)
             p.satisfiable = res.satisfiable
             p.conflicts = res.stats.conflicts
+            p.propagations = res.stats.propagations
+            p.learned = res.stats.learned
             p.solve_seconds = res.stats.time_seconds
             p.time_seconds = res.stats.time_seconds
             self.stats.add_time("sat", p.solve_seconds)
@@ -266,7 +365,7 @@ class CompilationSession:
                 self.stats.add_time("extract", p.extract_seconds)
             return res.satisfiable, payload, p
 
-        return probe
+        return probe_incremental if use_incremental else probe_scratch
 
     def search(self, probe, lo: int, hi: int) -> SearchOutcome:
         """Run the configured probe scheduler over ``[lo, hi]``."""

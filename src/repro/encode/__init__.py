@@ -10,7 +10,16 @@ from repro.encode.constraints import (
     EncodeError,
     Encoding,
     EncodingOptions,
+    IncrementalEncoder,
     encode_schedule,
+    sanitize_clauses,
 )
 
-__all__ = ["EncodeError", "Encoding", "EncodingOptions", "encode_schedule"]
+__all__ = [
+    "EncodeError",
+    "Encoding",
+    "EncodingOptions",
+    "IncrementalEncoder",
+    "encode_schedule",
+    "sanitize_clauses",
+]

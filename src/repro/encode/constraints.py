@@ -47,6 +47,39 @@ class EncodeError(Exception):
     """Raised when the goals cannot be encoded (e.g. uncomputable class)."""
 
 
+def sanitize_clauses(
+    clauses: Iterable[Sequence[int]], num_vars: int
+) -> List[List[int]]:
+    """Normalise clauses at emit time: dedupe literals, drop tautologies.
+
+    Every clause mentioning a variable above ``num_vars`` raises
+    :class:`EncodeError` — an out-of-range literal means the encoder
+    emitted a clause against the wrong variable space (the classic bug in
+    prefix-sharing encoders), and a solver would silently misbehave on it.
+    """
+    out: List[List[int]] = []
+    for lits in clauses:
+        clause: List[int] = []
+        seen = set()
+        tautology = False
+        for lit in lits:
+            var = lit if lit > 0 else -lit
+            if var == 0 or var > num_vars:
+                raise EncodeError(
+                    "clause literal %d outside variable space 1..%d"
+                    % (lit, num_vars)
+                )
+            if -lit in seen:
+                tautology = True
+                break
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not tautology:
+            out.append(clause)
+    return out
+
+
 @dataclass
 class EncodingOptions:
     """Feature switches for the encoder."""
@@ -473,6 +506,12 @@ class IncrementalEncoder:
         self._built = 0
         self._var_end = [0]
         self._clause_end = [0]
+        # Budget-local suffixes for the incremental-solver path: per budget,
+        # a selector variable and the goal/cardinality clauses gated on it.
+        # Gated clauses live *outside* the master clause list so the
+        # ``encode`` block slices stay budget-independent.
+        self._budget_selectors: Dict[int, int] = {}
+        self._budget_clauses: Dict[int, List[List[int]]] = {}
 
     def latency(self, node: ENode) -> int:
         override = self.latency_overrides.get(node)
@@ -628,3 +667,117 @@ class IncrementalEncoder:
             prefix_cycles_reused=reused,
         )
         return encoding
+
+    # -- budget selectors (the persistent-solver path) ------------------------
+    #
+    # The incremental solver keeps *one* clause database for the whole probe
+    # ladder, so per-budget clauses cannot simply be appended: a budget's
+    # goal clause must stop constraining the formula once another budget is
+    # probed.  Each budget therefore gets a fresh selector variable s_K and
+    # its suffix clauses are emitted gated as (-s_K | ...); probing K solves
+    # under the assumption s_K (plus -s_J for every other live budget).
+
+    @property
+    def master(self) -> CNF:
+        """The shared budget-independent CNF (cycle blocks only)."""
+        return self._master
+
+    def built_cycles(self) -> int:
+        return self._built
+
+    def ensure_budget(self, cycles: int) -> int:
+        """Build blocks ``0..cycles-1`` and the budget's gated suffix.
+
+        Returns how many of the cycle blocks already existed (the
+        cross-probe prefix-reuse counter).
+        """
+        if cycles < 1:
+            raise EncodeError("cycle budget must be at least 1")
+        reused = min(self._built, cycles)
+        while self._built < cycles:
+            self._build_block(self._built)
+        if cycles not in self._budget_selectors:
+            self._emit_budget(cycles)
+        return reused
+
+    def _emit_budget(self, cycles: int) -> None:
+        m = self._master
+        selector = m.new_var(("SEL", cycles))
+        clusters = self.spec.cluster_ids()
+        # Emit through the master CNF builder (so auxiliary variables of
+        # the cardinality ladder are allocated there), then peel the
+        # clauses off and gate them: the master clause list must stay a
+        # pure concatenation of cycle blocks for the ``encode`` views.
+        start = len(m.clauses)
+        for g in self.goal_roots:
+            if g in self.free:
+                continue
+            m.add_clause(
+                [self._avail_vars[(cycles - 1, g, c)] for c in clusters]
+            )
+        if self.options.launch_at_most_once:
+            per_term: Dict[ENode, List[int]] = {}
+            for (i, node, u), var in self._launch_vars.items():
+                if i < cycles:
+                    per_term.setdefault(node, []).append(var)
+            for term_vars in per_term.values():
+                m.at_most_one(term_vars)
+        emitted = m.clauses[start:]
+        del m.clauses[start:]
+        gated = sanitize_clauses(
+            [[-selector] + clause for clause in emitted], m.num_vars
+        )
+        self._budget_selectors[cycles] = selector
+        self._budget_clauses[cycles] = gated
+
+    def selector(self, cycles: int) -> int:
+        """The selector variable gating budget ``cycles``'s suffix."""
+        return self._budget_selectors[cycles]
+
+    def budget_clauses(self, cycles: int) -> List[List[int]]:
+        """The gated suffix clauses of budget ``cycles``."""
+        return self._budget_clauses[cycles]
+
+    def budget_stats(self, cycles: int) -> Dict[str, int]:
+        """CNF size the solver actually sees when probing this budget."""
+        return {
+            "vars": self._master.num_vars,
+            "clauses": self._clause_end[min(cycles, self._built)]
+            + len(self._budget_clauses.get(cycles, ())),
+        }
+
+    def decode_view(self, cycles: int) -> Encoding:
+        """An :class:`Encoding` for model decoding only (no clause copy).
+
+        The persistent-solver path never re-materialises a standalone CNF
+        per budget; extraction needs just the variable maps and metadata,
+        so the returned encoding carries an empty clause list.
+        """
+        if cycles > self._built:
+            raise EncodeError(
+                "budget %d not built yet (have %d blocks)"
+                % (cycles, self._built)
+            )
+        view = CNF()
+        view.num_vars = self._var_end[cycles]
+        return Encoding(
+            cnf=view,
+            cycles=cycles,
+            goal_classes=list(self.goal_roots),
+            machine_terms=list(self.machine_terms),
+            support_classes=list(self.support),
+            free_classes=self.free,
+            launch_vars={
+                key: var
+                for key, var in self._launch_vars.items()
+                if key[0] < cycles
+            },
+            avail_vars={
+                key: var
+                for key, var in self._avail_vars.items()
+                if key[0] < cycles
+            },
+            spec=self.spec,
+            latency_overrides=dict(self.latency_overrides),
+            prefix_cycles_reused=min(self._built, cycles),
+        )

@@ -10,12 +10,14 @@ external solver can be slotted in.
 
 from repro.sat.cnf import CNF, Lit
 from repro.sat.solver import CdclSolver, SatResult, SatSolver, Stats
+from repro.sat.incremental import IncrementalSolver
 from repro.sat.dimacs import from_dimacs, to_dimacs
 
 __all__ = [
     "CNF",
     "Lit",
     "CdclSolver",
+    "IncrementalSolver",
     "SatResult",
     "SatSolver",
     "Stats",

@@ -11,6 +11,12 @@ Implements the standard conflict-driven clause-learning loop:
 The solver plays the role CHAFF plays in the paper.  It is deliberately
 independent of the Denali encoder: it consumes any :class:`repro.sat.cnf.CNF`
 and returns a :class:`SatResult`.
+
+The inference engine lives in :class:`_SolverCore`, whose state (watched
+literals, learned clauses, VSIDS activities, saved phases) survives across
+``run`` calls.  :class:`CdclSolver` is the historical one-shot facade — a
+fresh core per ``solve`` — while :class:`repro.sat.incremental.IncrementalSolver`
+keeps one core alive across a whole cycle-budget probe ladder.
 """
 
 from __future__ import annotations
@@ -35,6 +41,10 @@ class Stats:
     restarts: int = 0
     learned: int = 0
     deleted: int = 0
+    # Learned clauses already in the database when the run began (always 0
+    # for the one-shot CdclSolver; the cross-probe reuse signal for the
+    # incremental solver).
+    learned_kept: int = 0
     time_seconds: float = 0.0
 
 
@@ -54,6 +64,20 @@ class SatResult:
         if self.model is None:
             raise ValueError("no model available")
         return self.model.get(var, False)
+
+
+def merge_stats(a: Stats, b: Stats) -> Stats:
+    """Combine the counters of two runs (verdict solve + canonical decode)."""
+    return Stats(
+        decisions=a.decisions + b.decisions,
+        propagations=a.propagations + b.propagations,
+        conflicts=a.conflicts + b.conflicts,
+        restarts=a.restarts + b.restarts,
+        learned=a.learned + b.learned,
+        deleted=a.deleted + b.deleted,
+        learned_kept=a.learned_kept,
+        time_seconds=a.time_seconds + b.time_seconds,
+    )
 
 
 class SatSolver(Protocol):
@@ -87,73 +111,154 @@ class _Clause:
         self.lbd = lbd
 
 
-class CdclSolver:
-    """Conflict-driven clause learning solver.
+class _SolverCore:
+    """Persistent CDCL state plus the inference engine.
 
-    Parameters:
-        conflict_budget: stop with ``satisfiable=None`` after this many
-            conflicts (``None`` = unbounded).
-        restart_base: Luby restart unit, in conflicts.
-        var_decay: VSIDS activity decay factor.
-        deadline_seconds: stop with ``satisfiable=None`` once this much
-            wall-clock has elapsed (``None`` = unbounded).  Checked at
-            conflicts, so a run inside a huge conflict-free propagation
-            can overshoot slightly.
-        stop_check: zero-argument callable polled periodically at
-            conflicts and decisions; returning True abandons the run with
-            ``satisfiable=None``.  This is how the portfolio probe
-            scheduler cancels losing probes.
+    The core is reusable: after every :meth:`run` it backtracks to the
+    root level, keeping learned clauses, variable activities and saved
+    phases, so a subsequent ``run`` (possibly after :meth:`grow` and more
+    :meth:`add_clause` calls) starts from everything earlier runs proved.
+    Clauses may only be added at the root level, which :meth:`run`
+    guarantees on exit.
     """
 
-    _STOP_CHECK_INTERVAL = 32  # conflicts between deadline/stop polls
+    _STOP_CHECK_INTERVAL = 32  # conflicts/decisions between stop polls
 
     def __init__(
         self,
-        conflict_budget: Optional[int] = None,
         restart_base: int = 100,
         var_decay: float = 0.95,
         clause_decay: float = 0.999,
         max_learnts_factor: float = 3.0,
-        deadline_seconds: Optional[float] = None,
-        stop_check: Optional[Callable[[], bool]] = None,
     ) -> None:
-        self.conflict_budget = conflict_budget
         self.restart_base = restart_base
         self.var_decay = var_decay
         self.clause_decay = clause_decay
         self.max_learnts_factor = max_learnts_factor
-        self.deadline_seconds = deadline_seconds
-        self.stop_check = stop_check
 
-    def _should_stop(self, start: float) -> bool:
-        if self.stop_check is not None and self.stop_check():
-            return True
-        return (
-            self.deadline_seconds is not None
-            and time.perf_counter() - start >= self.deadline_seconds
-        )
+        self._nvars = 0
+        self._assign: List[int] = [_UNASSIGNED]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        # watches[lit_index(l)] = clauses watching literal l
+        self._watches: List[List[_Clause]] = [[], []]
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._activity: List[float] = [0.0]
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._phase: List[bool] = [False]
+        # Lazy max-heap over (-activity, var); stale entries are skipped.
+        self._heap: List[tuple] = []
+        self._stats = Stats()
+        self._assumptions: List[int] = []
+        self._assumptions_done: List[int] = []
+        # Latched when the formula itself (no assumptions) is refuted.
+        self._root_unsat = False
+        # Canonical (lexicographic) decision mode: decide the lowest
+        # unassigned variable, always false first.  ``_rover`` is the scan
+        # frontier, rewound on backtracking.
+        self._canonical = False
+        self._rover = 1
+
+    @property
+    def num_vars(self) -> int:
+        return self._nvars
+
+    @property
+    def root_unsat(self) -> bool:
+        return self._root_unsat
+
+    def grow(self, num_vars: int) -> None:
+        """Extend the variable space to ``num_vars`` (no-op if smaller)."""
+        if num_vars <= self._nvars:
+            return
+        fresh = range(self._nvars + 1, num_vars + 1)
+        pad = num_vars - self._nvars
+        self._assign.extend([_UNASSIGNED] * pad)
+        self._level.extend([0] * pad)
+        self._reason.extend([None] * pad)
+        self._activity.extend([0.0] * pad)
+        self._phase.extend([False] * pad)
+        self._watches.extend([] for _ in range(2 * pad))
+        for v in fresh:
+            heapq.heappush(self._heap, (-0.0, v))
+        self._nvars = num_vars
 
     # -- public API ---------------------------------------------------------
 
-    def solve(
-        self, cnf: CNF, assumptions: Sequence[int] = ()
+    def run(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
+        canonical: bool = False,
     ) -> SatResult:
-        """Decide satisfiability of ``cnf`` under optional assumption literals."""
-        start = time.perf_counter()
-        self._init(cnf)
+        """Decide satisfiability under the given assumption literals.
+
+        Budgets and deadlines apply to this run only.  Deadlines are
+        measured on the monotonic clock, so wall-clock jumps (NTP steps,
+        suspend/resume) can neither fire nor starve them.
+
+        With ``canonical=True`` the run decides variables in index order,
+        always trying false first.  A CDCL run under that policy returns
+        the *lexicographically least* model (false < true, ``v1`` most
+        significant): whenever the found model sets ``v_i`` true, the
+        literal was propagated from the formula plus lower-index false
+        decisions, so every model agreeing on ``v_1..v_{i-1}`` also sets
+        ``v_i``.  Learned clauses, restarts and prior solver state cannot
+        change that model — which is what makes the decoded program
+        byte-identical across solver paths and probe schedules.
+        """
+        start = time.monotonic()
+        stats = Stats(learned_kept=len(self._learnts))
+        self._stats = stats
+        self._assumptions = list(assumptions)
+        self._assumptions_done = []
+        self._canonical = canonical
+        self._rover = 1
+        try:
+            result = self._run(conflict_budget, deadline_seconds, stop_check, start)
+        finally:
+            self._backtrack(0)
+            self._assumptions = []
+            del self._assumptions_done[:]
+            self._canonical = False
+            stats.time_seconds = time.monotonic() - start
+        return result
+
+    def _should_stop(
+        self,
+        start: float,
+        deadline_seconds: Optional[float],
+        stop_check: Optional[Callable[[], bool]],
+    ) -> bool:
+        if stop_check is not None and stop_check():
+            return True
+        return (
+            deadline_seconds is not None
+            and time.monotonic() - start >= deadline_seconds
+        )
+
+    def _run(
+        self,
+        conflict_budget: Optional[int],
+        deadline_seconds: Optional[float],
+        stop_check: Optional[Callable[[], bool]],
+        start: float,
+    ) -> SatResult:
         stats = self._stats
-
-        # Load problem clauses.
-        for lits in cnf.clauses:
-            if not self._add_clause(list(lits), learnt=False):
-                stats.time_seconds = time.perf_counter() - start
-                return SatResult(False, None, stats)
-
+        if self._root_unsat:
+            return SatResult(False, None, stats)
         if self._propagate() is not None:
-            stats.time_seconds = time.perf_counter() - start
+            if self._decision_level() == 0:
+                self._root_unsat = True
             return SatResult(False, None, stats)
 
-        self._assumptions = list(assumptions)
         restarts = 0
         conflicts_until_restart = self.restart_base * _luby(restarts + 1)
         conflicts_at_restart = 0
@@ -167,23 +272,21 @@ class CdclSolver:
                 stats.conflicts += 1
                 conflicts_at_restart += 1
                 if self._decision_level() == 0:
-                    stats.time_seconds = time.perf_counter() - start
+                    self._root_unsat = True
                     return SatResult(False, None, stats)
                 learnt, back_level = self._analyze(conflict)
                 self._backtrack(back_level)
                 self._learn(learnt)
                 self._decay_activities()
                 if (
-                    self.conflict_budget is not None
-                    and stats.conflicts >= self.conflict_budget
+                    conflict_budget is not None
+                    and stats.conflicts >= conflict_budget
                 ):
-                    stats.time_seconds = time.perf_counter() - start
                     return SatResult(None, None, stats)
                 if (
                     stats.conflicts % self._STOP_CHECK_INTERVAL == 0
-                    and self._should_stop(start)
+                    and self._should_stop(start, deadline_seconds, stop_check)
                 ):
-                    stats.time_seconds = time.perf_counter() - start
                     return SatResult(None, None, stats)
                 continue
 
@@ -202,9 +305,8 @@ class CdclSolver:
             if lit is None:
                 if (
                     stats.decisions % self._STOP_CHECK_INTERVAL == 0
-                    and self._should_stop(start)
+                    and self._should_stop(start, deadline_seconds, stop_check)
                 ):
-                    stats.time_seconds = time.perf_counter() - start
                     return SatResult(None, None, stats)
                 lit = self._decide()
             if lit is None:
@@ -212,37 +314,9 @@ class CdclSolver:
                     v: self._assign[v] == 1
                     for v in range(1, self._nvars + 1)
                 }
-                stats.time_seconds = time.perf_counter() - start
                 return SatResult(True, model, stats)
             if lit is False:  # conflicting assumptions
-                stats.time_seconds = time.perf_counter() - start
                 return SatResult(False, None, stats)
-
-    # -- initialisation ----------------------------------------------------------
-
-    def _init(self, cnf: CNF) -> None:
-        n = cnf.num_vars
-        self._nvars = n
-        self._assign: List[int] = [_UNASSIGNED] * (n + 1)
-        self._level: List[int] = [0] * (n + 1)
-        self._reason: List[Optional[_Clause]] = [None] * (n + 1)
-        self._trail: List[int] = []
-        self._trail_lim: List[int] = []
-        self._qhead = 0
-        # watches[lit_index(l)] = clauses watching literal l
-        self._watches: List[List[_Clause]] = [[] for _ in range(2 * n + 2)]
-        self._clauses: List[_Clause] = []
-        self._learnts: List[_Clause] = []
-        self._activity: List[float] = [0.0] * (n + 1)
-        self._var_inc = 1.0
-        self._cla_inc = 1.0
-        self._phase: List[bool] = [False] * (n + 1)
-        # Lazy max-heap over (-activity, var); stale entries are skipped.
-        self._heap: List[tuple] = [(0.0, v) for v in range(1, n + 1)]
-        heapq.heapify(self._heap)
-        self._stats = Stats()
-        self._assumptions: List[int] = []
-        self._assumptions_done: List[int] = []
 
     @staticmethod
     def _widx(lit: int) -> int:
@@ -261,20 +335,40 @@ class CdclSolver:
 
     # -- clause management ---------------------------------------------------
 
-    def _add_clause(self, lits: List[int], learnt: bool, lbd: int = 0) -> bool:
-        """Attach a clause; returns False on immediate root contradiction."""
+    def add_clause(
+        self,
+        lits: List[int],
+        learnt: bool = False,
+        lbd: int = 0,
+        trusted: bool = False,
+    ) -> bool:
+        """Attach a clause; returns False on immediate root contradiction.
+
+        Must be called at the root level: literals already false there are
+        simplified away permanently, which is only sound for level-0
+        assignments.  A False return latches :attr:`root_unsat`.
+
+        ``trusted`` skips literal dedup and the tautology check — for
+        callers (the CNF builder, ``sanitize_clauses``) that already
+        guarantee both, it removes the dominant per-clause cost of
+        feeding a large formula.
+        """
         if not learnt:
-            lits = sorted(set(lits), key=abs)
-            if any(-l in lits for l in lits):
-                return True  # tautology
+            if not trusted:
+                unique = set(lits)
+                if any(-l in unique for l in unique):
+                    return True  # tautology
+                lits = sorted(unique, key=abs)
             if any(self._value(l) == 1 for l in lits):
                 return True  # already satisfied at the root level
             lits = [l for l in lits if self._value(l) != 0]
         if not lits:
+            self._root_unsat = True
             return False
         if len(lits) == 1:
             val = self._value(lits[0])
             if val == 0:
+                self._root_unsat = True
                 return False
             if val == _UNASSIGNED:
                 self._enqueue(lits[0], None)
@@ -284,6 +378,44 @@ class CdclSolver:
         self._watches[self._widx(lits[0])].append(clause)
         self._watches[self._widx(lits[1])].append(clause)
         return True
+
+    def add_clauses_trusted(self, clauses: Sequence[List[int]]) -> bool:
+        """Bulk :meth:`add_clause` for pre-sanitised permanent clauses.
+
+        Feeding the encoder's master formula is the incremental path's
+        hot loop, so the per-clause root simplification is inlined here
+        (one pass instead of two, no method dispatch).  Semantics match
+        ``add_clause(lits, trusted=True)`` clause by clause.
+        """
+        assign = self._assign
+        watches = self._watches
+        perm = self._clauses
+        ok = True
+        for lits in clauses:
+            out: List[int] = []
+            satisfied = False
+            for l in lits:
+                a = assign[l if l > 0 else -l]
+                if a == _UNASSIGNED:
+                    out.append(l)
+                elif (a == 1) == (l > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if not out:
+                self._root_unsat = True
+                ok = False
+                continue
+            if len(out) == 1:
+                self._enqueue(out[0], None)
+                continue
+            clause = _Clause(out, False, 0)
+            perm.append(clause)
+            l0, l1 = out[0], out[1]
+            watches[2 * l0 if l0 > 0 else 1 - 2 * l0].append(clause)
+            watches[2 * l1 if l1 > 0 else 1 - 2 * l1].append(clause)
+        return ok
 
     def _learn(self, lits: List[int]) -> None:
         self._stats.learned += 1
@@ -311,11 +443,40 @@ class CdclSolver:
                 drop.append(c)
         if not drop:
             return
+        self._detach_learnts(drop)
+        self._learnts = keep
+        self._stats.deleted += len(drop)
+
+    def _detach_learnts(self, drop: List[_Clause]) -> None:
+        """Remove the given learned clauses from every watch list."""
         dropset = set(map(id, drop))
         for w in self._watches:
             w[:] = [c for c in w if id(c) not in dropset]
-        self._learnts = keep
+        # Reasons pointing at a dropped clause can only belong to root-level
+        # assignments (run() always exits at level 0, and _reduce_db keeps
+        # locked clauses); those assignments stay valid without the pointer.
+        for lit in self._trail:
+            v = abs(lit)
+            reason = self._reason[v]
+            if reason is not None and id(reason) in dropset:
+                self._reason[v] = None
+
+    def purge_learnts(self, predicate) -> int:
+        """Drop every learned clause whose literal list matches ``predicate``.
+
+        Used by the incremental solver's selector-aware retirement: learnt
+        clauses mentioning a retired budget's selector are dead weight for
+        every other budget.  Only call at the root level.  Returns the
+        number of clauses dropped.
+        """
+        drop = [c for c in self._learnts if predicate(c.lits)]
+        if not drop:
+            return 0
+        self._detach_learnts(drop)
+        dropset = set(map(id, drop))
+        self._learnts = [c for c in self._learnts if id(c) not in dropset]
         self._stats.deleted += len(drop)
+        return len(drop)
 
     # -- trail ----------------------------------------------------------------
 
@@ -335,6 +496,8 @@ class CdclSolver:
             self._phase[v] = self._assign[v] == 1
             self._assign[v] = _UNASSIGNED
             self._reason[v] = None
+            if v < self._rover:
+                self._rover = v
             heapq.heappush(self._heap, (-self._activity[v], v))
         del self._trail[limit:]
         del self._trail_lim[level:]
@@ -503,7 +666,23 @@ class CdclSolver:
         return None
 
     def _decide(self) -> Optional[int]:
-        """Pick the unassigned variable with highest activity (lazy heap)."""
+        """Pick the next decision variable.
+
+        VSIDS (highest activity, saved phase) normally; in canonical mode
+        the lowest-index unassigned variable, always false."""
+        if self._canonical:
+            v = self._rover
+            n = self._nvars
+            assign = self._assign
+            while v <= n and assign[v] != _UNASSIGNED:
+                v += 1
+            self._rover = v
+            if v > n:
+                return None
+            self._stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(-v, None)
+            return -v
         best = None
         while self._heap:
             neg_act, v = heapq.heappop(self._heap)
@@ -523,3 +702,90 @@ class CdclSolver:
         lit = best if self._phase[best] else -best
         self._enqueue(lit, None)
         return lit
+
+
+class CdclSolver:
+    """Conflict-driven clause learning solver (one-shot facade).
+
+    Every :meth:`solve` builds a fresh :class:`_SolverCore` from the CNF,
+    so nothing carries over between calls — the behaviour the probe
+    schedulers relied on before the incremental solver existed, and the
+    reference the differential tests compare against.
+
+    Parameters:
+        conflict_budget: stop with ``satisfiable=None`` after this many
+            conflicts (``None`` = unbounded).
+        restart_base: Luby restart unit, in conflicts.
+        var_decay: VSIDS activity decay factor.
+        deadline_seconds: stop with ``satisfiable=None`` once this much
+            monotonic-clock time has elapsed (``None`` = unbounded).
+            Checked at conflicts, so a run inside a huge conflict-free
+            propagation can overshoot slightly.
+        stop_check: zero-argument callable polled periodically at
+            conflicts and decisions; returning True abandons the run with
+            ``satisfiable=None``.  This is how the portfolio probe
+            scheduler cancels losing probes.
+    """
+
+    def __init__(
+        self,
+        conflict_budget: Optional[int] = None,
+        restart_base: int = 100,
+        var_decay: float = 0.95,
+        clause_decay: float = 0.999,
+        max_learnts_factor: float = 3.0,
+        deadline_seconds: Optional[float] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.conflict_budget = conflict_budget
+        self.restart_base = restart_base
+        self.var_decay = var_decay
+        self.clause_decay = clause_decay
+        self.max_learnts_factor = max_learnts_factor
+        self.deadline_seconds = deadline_seconds
+        self.stop_check = stop_check
+
+    def solve(
+        self,
+        cnf: CNF,
+        assumptions: Sequence[int] = (),
+        canonical_model: bool = False,
+    ) -> SatResult:
+        """Decide satisfiability of ``cnf`` under optional assumption literals.
+
+        ``canonical_model=True`` re-runs a satisfiable instance in the
+        core's canonical (lexicographic) decision mode and returns that
+        model instead: the unique lex-least model, independent of solver
+        heuristics — the property the incremental probe path relies on
+        for byte-identical output.  The second run reuses the first run's
+        learned clauses; its counters are merged into the result stats.
+        """
+        core = _SolverCore(
+            restart_base=self.restart_base,
+            var_decay=self.var_decay,
+            clause_decay=self.clause_decay,
+            max_learnts_factor=self.max_learnts_factor,
+        )
+        core.grow(cnf.num_vars)
+        for lits in cnf.clauses:
+            if not core.add_clause(list(lits)):
+                break  # root contradiction is latched; run() reports it
+        res = core.run(
+            assumptions,
+            conflict_budget=self.conflict_budget,
+            deadline_seconds=self.deadline_seconds,
+            stop_check=self.stop_check,
+        )
+        if canonical_model and res.satisfiable:
+            canon = core.run(
+                assumptions,
+                conflict_budget=self.conflict_budget,
+                deadline_seconds=self.deadline_seconds,
+                stop_check=self.stop_check,
+                canonical=True,
+            )
+            if canon.satisfiable:
+                res = SatResult(
+                    True, canon.model, merge_stats(res.stats, canon.stats)
+                )
+        return res

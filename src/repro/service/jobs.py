@@ -65,6 +65,7 @@ class JobSpec:
     verify: bool = True
     load_latency: int = 3
     miss_latency: int = 12
+    incremental: bool = True  # persistent solver across the probe ladder
     timeout_seconds: Optional[float] = None
     seconds: float = 0.0  # for kind == "sleep"
 
@@ -98,6 +99,7 @@ _SEMANTIC_FIELDS = (
     "verify",
     "load_latency",
     "miss_latency",
+    "incremental",
     "seconds",
 )
 
@@ -171,6 +173,7 @@ def _compile(spec: JobSpec) -> Dict[str, Any]:
         strategy=SearchStrategy(spec.strategy),
         verify=spec.verify,
         miss_latency=spec.miss_latency,
+        enable_incremental_solver=spec.incremental,
         saturation=SaturationConfig(
             max_rounds=spec.max_rounds, max_enodes=spec.max_enodes
         ),
