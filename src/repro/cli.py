@@ -12,6 +12,10 @@ Usage::
     python -m repro batch a.dn b.dn --workers 4 --store denali.sqlite
     python -m repro batch a.dn --url http://127.0.0.1:8642
 
+    python -m repro fuzz --seed 0 --iterations 500      # differential fuzzing
+    python -m repro fuzz --time-budget 60 --json
+    python -m repro fuzz --replay                       # re-run tests/corpus
+
 The input is the paper's Figure 6 syntax (``\\opdecl`` / ``\\axiom`` /
 ``\\procdecl``).  Each procedure is translated to its GMAs; each GMA is
 superoptimized and printed with its statistics.  The ``serve`` and
@@ -256,6 +260,81 @@ def build_batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="differential fuzzing: random programs down every "
+        "path through the system, demanding all answers agree",
+    )
+    parser.add_argument(
+        "--version", action="version", version="repro %s" % __version__
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=100,
+        help="number of random programs to generate (default: 100)",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this much wall-clock time even if iterations remain",
+    )
+    parser.add_argument(
+        "--oracles",
+        default=None,
+        metavar="LIST",
+        help="comma-separated oracle subset (default: all): "
+        "asm-vs-eval,solver-paths,strategies,bruteforce",
+    )
+    parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=12,
+        help="largest cycle budget the oracle compilations try",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=10,
+        help="stop the campaign after this many failing cases",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing cases unminimised",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="write minimised failures into this corpus directory",
+    )
+    parser.add_argument(
+        "--replay",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="replay the regression corpus (default: tests/corpus) "
+        "instead of generating new programs",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="no per-iteration heartbeat, summary only",
+    )
+    return parser
+
+
 # -- entry point ---------------------------------------------------------------
 
 
@@ -273,6 +352,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _serve_main(argv[1:])
         if argv and argv[0] == "batch":
             return _batch_main(argv[1:])
+        if argv and argv[0] == "fuzz":
+            return _fuzz_main(argv[1:])
         return _compile_main(argv)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
@@ -614,6 +695,147 @@ def _report_metrics(args, metrics: dict) -> None:
         with open(args.metrics_json, "w") as handle:
             json.dump(metrics, handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+
+# -- the fuzz verb -------------------------------------------------------------
+
+
+def _fuzz_oracle_options(args):
+    from repro.fuzz import ALL_ORACLES, OracleOptions
+
+    options = OracleOptions(max_cycles=args.max_cycles)
+    if args.oracles:
+        chosen = tuple(
+            name.strip() for name in args.oracles.split(",") if name.strip()
+        )
+        unknown = [name for name in chosen if name not in ALL_ORACLES]
+        if unknown:
+            raise ValueError(
+                "unknown oracle(s) %s; choose from %s"
+                % (", ".join(unknown), ", ".join(ALL_ORACLES))
+            )
+        options.oracles = chosen
+    return options
+
+
+def _fuzz_replay(args) -> int:
+    import json as _json
+
+    from repro.fuzz import corpus_dir, replay_corpus
+
+    directory = args.replay if args.replay else corpus_dir()
+    report = replay_corpus(directory, _fuzz_oracle_options(args))
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "directory": directory,
+                    "entries": report.entries,
+                    "passed": report.passed,
+                    "ok": report.ok,
+                    "failures": report.failures,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for failure in report.failures:
+            print("FAIL %s" % failure, file=sys.stderr)
+        print(
+            "corpus replay: %d/%d passed (%s)"
+            % (report.passed, report.entries, directory),
+            file=sys.stderr,
+        )
+    return EXIT_OK if report.ok else EXIT_FAILURE
+
+
+def _fuzz_main(argv: List[str]) -> int:
+    args = build_fuzz_parser().parse_args(argv)
+    import json as _json
+
+    from repro.fuzz import FuzzConfig, run_fuzz
+
+    try:
+        oracle = _fuzz_oracle_options(args)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    if args.replay is not None:
+        return _fuzz_replay(args)
+    if args.iterations <= 0:
+        print("error: --iterations must be positive", file=sys.stderr)
+        return EXIT_USAGE
+
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget_seconds=args.time_budget,
+        oracle=oracle,
+        shrink=not args.no_shrink,
+        save_failures_to=args.save,
+        max_failures=args.max_failures,
+    )
+
+    def heartbeat(iteration: int, partial) -> None:
+        if args.quiet or args.json:
+            return
+        if (iteration + 1) % 50 == 0 or partial.failures:
+            print(
+                "; %d/%d cases, %d gmas, %d failures"
+                % (
+                    iteration + 1,
+                    args.iterations,
+                    partial.gmas,
+                    len(partial.failures),
+                ),
+                file=sys.stderr,
+            )
+
+    report = run_fuzz(config, progress=heartbeat)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for failure in report.failures:
+            print(
+                "FAIL seed=%d oracles=%s\n%s"
+                % (
+                    failure.case_seed,
+                    ",".join(failure.oracles),
+                    failure.minimized_source,
+                ),
+                file=sys.stderr,
+            )
+            for divergence in failure.divergences[:3]:
+                print(
+                    "  %s[%s]: %s"
+                    % (
+                        divergence.oracle,
+                        divergence.label,
+                        divergence.detail,
+                    ),
+                    file=sys.stderr,
+                )
+        checks = ", ".join(
+            "%s=%d" % (k, v) for k, v in sorted(report.checks.items())
+        )
+        print(
+            "fuzz: %d cases, %d gmas (%d compiled), %d failures, "
+            "%.1fs [%s]%s"
+            % (
+                report.iterations,
+                report.gmas,
+                report.compiled,
+                len(report.failures),
+                report.elapsed_seconds,
+                checks,
+                " (stopped: %s)" % report.stopped_early
+                if report.stopped_early
+                else "",
+            ),
+            file=sys.stderr,
+        )
+    return EXIT_OK if report.ok else EXIT_FAILURE
 
 
 # -- reports -------------------------------------------------------------------

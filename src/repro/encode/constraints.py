@@ -241,6 +241,10 @@ def encode_schedule(
     support = _support(eg, goal_roots)
     if options.materialize_constants:
         _inject_ldiq(eg, support, spec)
+        # Injection merges fresh ldiq nodes into constant classes, which
+        # may elect a new class representative: re-find the roots, or a
+        # bare-constant goal is misjudged uncomputable under its stale id.
+        goal_roots = [eg.find(g) for g in goal_roots]
         support = _support(eg, goal_roots)
     free = _free_classes(eg, support, spec)
     computable = _computable_classes(eg, support, free, spec)
@@ -456,6 +460,9 @@ class IncrementalEncoder:
         support = _support(eg, self.goal_roots)
         if self.options.materialize_constants:
             _inject_ldiq(eg, support, spec)
+            # Injection can re-elect the merged class's representative:
+            # re-find the roots (see encode_schedule).
+            self.goal_roots = [eg.find(g) for g in self.goal_roots]
             support = _support(eg, self.goal_roots)
         self.support = support
         self.free = _free_classes(eg, support, spec)

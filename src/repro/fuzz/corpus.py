@@ -1,0 +1,145 @@
+"""The persisted regression corpus.
+
+Every interesting program the fuzzer has ever produced — minimised
+counterexamples, plus representative seeds covering each generator
+feature — is stored as a plain ``.dn`` file under ``tests/corpus/``
+with its provenance in leading ``;`` comment lines:
+
+    ; fuzz-corpus: feature=loop,store
+    ; seed: 17
+    ; oracle: asm-vs-eval        (failure cases only)
+    (\\procdecl fz17 ...)
+
+Corpus files are ordinary Denali source: the replay runs them through
+the same :func:`repro.fuzz.oracles.check_case` as the live fuzzer, so a
+once-fixed miscompile can never silently return.  The replay is part of
+the fast test tier (``tests/test_fuzz_corpus.py``) and of the CI
+``fuzz-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fuzz.oracles import CaseReport, OracleOptions, check_case
+
+_HEADER = re.compile(r"^;\s*([A-Za-z_-]+)\s*:\s*(.*?)\s*$")
+
+
+def corpus_dir() -> str:
+    """The repository's corpus directory (override: ``REPRO_CORPUS_DIR``)."""
+    override = os.environ.get("REPRO_CORPUS_DIR")
+    if override:
+        return override
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.normpath(
+        os.path.join(here, os.pardir, os.pardir, os.pardir, "tests", "corpus")
+    )
+
+
+@dataclass
+class CorpusEntry:
+    """One corpus file: its source text plus the ``; key: value`` headers."""
+
+    name: str
+    path: str
+    source: str
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def seed(self) -> Optional[int]:
+        raw = self.metadata.get("seed")
+        return int(raw) if raw is not None and raw.lstrip("-").isdigit() else None
+
+
+def _parse_entry(name: str, path: str, text: str) -> CorpusEntry:
+    metadata: Dict[str, str] = {}
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if not stripped.startswith(";"):
+            break
+        match = _HEADER.match(stripped)
+        if match:
+            metadata[match.group(1).lower()] = match.group(2)
+    return CorpusEntry(name=name, path=path, source=text, metadata=metadata)
+
+
+def load_corpus(directory: Optional[str] = None) -> List[CorpusEntry]:
+    """All ``*.dn`` entries of the corpus, sorted by file name."""
+    directory = directory if directory is not None else corpus_dir()
+    entries: List[CorpusEntry] = []
+    if not os.path.isdir(directory):
+        return entries
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".dn"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path) as handle:
+            text = handle.read()
+        entries.append(_parse_entry(filename[:-3], path, text))
+    return entries
+
+
+def save_case(
+    source: str,
+    name: str,
+    directory: Optional[str] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> str:
+    """Persist one program; returns the path written.
+
+    ``name`` is sanitised into a file name; an existing file of that
+    name is overwritten (corpus entries are keyed by name, and a
+    re-minimised case should replace its older, larger self).
+    """
+    directory = directory if directory is not None else corpus_dir()
+    os.makedirs(directory, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name) or "case"
+    path = os.path.join(directory, safe + ".dn")
+    lines = ["; fuzz-corpus: v1"]
+    for key, value in (metadata or {}).items():
+        text = str(value).replace("\n", " ")
+        lines.append("; %s: %s" % (key, text))
+    body = source if source.endswith("\n") else source + "\n"
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n" + body)
+    return path
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-running every corpus entry through the oracles."""
+
+    entries: int = 0
+    passed: int = 0
+    reports: List[CaseReport] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)  # "name: oracle ..."
+
+    @property
+    def ok(self) -> bool:
+        return self.entries == self.passed
+
+
+def replay_corpus(
+    directory: Optional[str] = None,
+    options: Optional[OracleOptions] = None,
+) -> ReplayReport:
+    """Re-check every corpus entry; deterministic and fast-tier friendly."""
+    report = ReplayReport()
+    for entry in load_corpus(directory):
+        case_report = check_case(entry.source, options)
+        report.entries += 1
+        report.reports.append(case_report)
+        if case_report.passed:
+            report.passed += 1
+        else:
+            report.failures.append(
+                "%s: %s"
+                % (entry.name, ", ".join(case_report.failing_oracles()))
+            )
+    return report

@@ -1,0 +1,187 @@
+"""The differential fuzzing campaign driver.
+
+One campaign = one root seed.  Per-iteration case seeds are drawn from a
+single ``random.Random(config.seed)`` stream, so ``--seed 0
+--iterations 500`` reproduces bit-for-bit on any machine, and every
+failure report carries the *case* seed so a single program can be
+replayed without re-running the campaign.
+
+For each failing case the driver narrows the oracle set to the first
+failing oracle, delta-debugs the program down with
+:func:`repro.fuzz.shrinker.shrink_case`, and (optionally) persists the
+minimised source to the regression corpus.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.fuzz.corpus import save_case
+from repro.fuzz.generator import FuzzCase, GeneratorConfig, generate_case
+from repro.fuzz.oracles import Divergence, OracleOptions, check_case
+from repro.fuzz.shrinker import shrink_case
+
+# Case seeds live in a disjoint space from small user seeds so that a
+# campaign's cases don't collide with hand-replayed ``--seed N`` runs.
+_CASE_SEED_BITS = 48
+
+
+@dataclass
+class FuzzConfig:
+    """One fuzzing campaign's shape."""
+
+    seed: int = 0
+    iterations: int = 100
+    time_budget_seconds: Optional[float] = None
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    oracle: OracleOptions = field(default_factory=OracleOptions)
+    shrink: bool = True
+    shrink_max_attempts: int = 300
+    # Write minimised failures into this corpus directory (None = don't).
+    save_failures_to: Optional[str] = None
+    # Stop the campaign early once this many failing cases were seen.
+    max_failures: int = 10
+
+
+@dataclass
+class FuzzFailure:
+    """One failing case: where it failed and its minimised form."""
+
+    case_seed: int
+    oracles: List[str]
+    divergences: List[Divergence]
+    source: str
+    minimized_source: str
+    minimized_lines: int
+
+    def to_dict(self) -> dict:
+        return {
+            "case_seed": self.case_seed,
+            "oracles": list(self.oracles),
+            "divergences": [d.to_dict() for d in self.divergences],
+            "source": self.source,
+            "minimized_source": self.minimized_source,
+            "minimized_lines": self.minimized_lines,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Campaign totals for the CLI / JSON output."""
+
+    seed: int = 0
+    iterations: int = 0  # iterations actually run
+    requested_iterations: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    checks: Dict[str, int] = field(default_factory=dict)
+    gmas: int = 0
+    compiled: int = 0
+    brute_skipped: int = 0
+    elapsed_seconds: float = 0.0
+    stopped_early: str = ""  # "", "time-budget", "max-failures"
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "requested_iterations": self.requested_iterations,
+            "ok": self.ok,
+            "failures": [f.to_dict() for f in self.failures],
+            "checks": dict(self.checks),
+            "gmas": self.gmas,
+            "compiled": self.compiled,
+            "brute_skipped": self.brute_skipped,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "stopped_early": self.stopped_early,
+        }
+
+
+def _shrink_failure(
+    case: FuzzCase, oracle: str, config: FuzzConfig
+) -> FuzzCase:
+    """Minimise ``case`` against its first failing oracle."""
+    narrowed = config.oracle.narrowed_to(oracle)
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        report = check_case(candidate, narrowed)
+        return oracle in report.failing_oracles()
+
+    return shrink_case(
+        case, still_fails, max_attempts=config.shrink_max_attempts
+    )
+
+
+def run_fuzz(
+    config: Optional[FuzzConfig] = None,
+    progress: Optional[Callable[[int, FuzzReport], None]] = None,
+) -> FuzzReport:
+    """Run one campaign; deterministic in ``config.seed``.
+
+    ``progress`` (if given) is called after every iteration with the
+    iteration index and the report-so-far — the CLI uses it to print a
+    heartbeat without the driver knowing about terminals.
+    """
+    config = config if config is not None else FuzzConfig()
+    rng = random.Random(config.seed)
+    report = FuzzReport(
+        seed=config.seed, requested_iterations=config.iterations
+    )
+    start = time.perf_counter()
+    for iteration in range(config.iterations):
+        if (
+            config.time_budget_seconds is not None
+            and time.perf_counter() - start >= config.time_budget_seconds
+        ):
+            report.stopped_early = "time-budget"
+            break
+        case_seed = rng.getrandbits(_CASE_SEED_BITS)
+        case = generate_case(case_seed, config.generator)
+        case_report = check_case(case, config.oracle)
+        report.iterations += 1
+        report.gmas += case_report.gmas
+        report.compiled += case_report.compiled
+        report.brute_skipped += case_report.brute_skipped
+        for oracle, count in case_report.checks.items():
+            report.checks[oracle] = report.checks.get(oracle, 0) + count
+
+        if not case_report.passed:
+            failing = case_report.failing_oracles()
+            shrunk = case
+            if config.shrink:
+                shrunk = _shrink_failure(case, failing[0], config)
+            failure = FuzzFailure(
+                case_seed=case_seed,
+                oracles=list(failing),
+                divergences=case_report.divergences,
+                source=case.source,
+                minimized_source=shrunk.source,
+                minimized_lines=len(shrunk.source_lines()),
+            )
+            report.failures.append(failure)
+            if config.save_failures_to is not None:
+                save_case(
+                    shrunk.source,
+                    "fail_%s_%d" % (failing[0].replace("-", "_"), case_seed),
+                    directory=config.save_failures_to,
+                    metadata={
+                        "seed": case_seed,
+                        "oracle": ",".join(failing),
+                        "campaign-seed": config.seed,
+                    },
+                )
+            if len(report.failures) >= config.max_failures:
+                report.stopped_early = "max-failures"
+                if progress is not None:
+                    progress(iteration, report)
+                break
+        if progress is not None:
+            progress(iteration, report)
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

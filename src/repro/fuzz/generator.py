@@ -1,0 +1,319 @@
+"""Seeded random Denali programs.
+
+The generator emits *surface syntax* (the parser's Figure 6 s-expression
+forms), not terms: every other subsystem — parser, translator, evaluator,
+pipeline, service — then exercises its real entry path, and the shrinker
+can transform programs structurally while they stay parseable.
+
+Well-typedness is by construction: every generated expression has the
+scalar (64-bit) sort, pointer parameters are only dereferenced, memory is
+only touched through ``\\deref``, and loops never assign ``\\res`` (the
+translator's rule).  Statement shapes cover the language the translator
+supports:
+
+* straight-line multi-assignments (simultaneous ``:=`` with several
+  targets) that become the tail GMA,
+* ``\\var`` bindings feeding shared subexpressions,
+* optional pointer stores ``(:= ((\\deref p) e))`` — a memory-target GMA,
+* an optional guarded ``\\do`` loop over cut variables — a guarded
+  multi-target GMA, the paper's section 3 shape.
+
+Determinism: everything is drawn from one ``random.Random(seed)``; the
+same seed yields the identical source text on every platform.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.axioms.sexpr import SExpr, render_sexpr
+
+# Surface binary operators (translate.py's _BINOPS) with relative weights.
+# Multiplication is rare: mulq has latency 7 on the EV6, which forces long
+# cycle budgets and slows every probe ladder the case touches.
+_BINOPS: Sequence[Tuple[str, int]] = (
+    ("+", 6),
+    ("-", 5),
+    ("&", 5),
+    ("|", 5),
+    ("^", 5),
+    ("<<", 3),
+    (">>", 3),
+    (">>a", 2),
+    ("<", 2),
+    ("<=", 2),
+    ("<s", 1),
+    ("<=s", 1),
+    ("==", 2),
+    ("*", 1),
+)
+
+# Direct registry operators reachable with the ``\\op`` surface form.
+_UNARY_OPS: Sequence[Tuple[str, int]] = (
+    ("\\not64", 3),
+    ("\\sextb", 1),
+    ("\\sextw", 1),
+    ("\\sextl", 1),
+)
+
+# (op, byte-index second operand) byte-manipulation pool: the second
+# operand is kept a small literal so the byte axioms can fire.
+_BYTE_OPS: Sequence[Tuple[str, int]] = (
+    ("\\extbl", 3),
+    ("\\extwl", 1),
+    ("\\insbl", 3),
+    ("\\inswl", 1),
+    ("\\mskbl", 2),
+    ("\\mskwl", 1),
+    ("\\zapnot", 2),
+)
+
+_SCALED_OPS: Sequence[Tuple[str, int]] = (
+    ("\\s4addq", 1),
+    ("\\s8addq", 1),
+    ("\\s4subq", 1),
+    ("\\bic", 2),
+    ("\\ornot", 2),
+    ("\\eqv", 2),
+)
+
+_CMOV_OPS: Sequence[str] = ("\\cmoveq", "\\cmovne", "\\cmovlt", "\\cmovge")
+
+# Literal pool: boundary values that exercise carries, sign bits and byte
+# structure, weighted toward small constants (they fit immediate fields).
+_SMALL_LITERALS = (0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 63, 255)
+_WIDE_LITERALS = (
+    256,
+    0xFFFF,
+    0xFF00,
+    0x8000_0000,
+    0xFFFF_FFFF,
+    (1 << 63),
+    (1 << 64) - 1,
+    0x0102_0304_0506_0708,
+)
+
+
+def _weighted(rng: random.Random, pool: Sequence[Tuple[str, int]]) -> str:
+    total = sum(w for _, w in pool)
+    pick = rng.randrange(total)
+    for name, w in pool:
+        pick -= w
+        if pick < 0:
+            return name
+    return pool[-1][0]  # pragma: no cover - unreachable
+
+
+@dataclass
+class GeneratorConfig:
+    """Shape limits for generated programs."""
+
+    max_depth: int = 3
+    # Probability weights for structural choices.
+    memory_probability: float = 0.25
+    store_probability: float = 0.15
+    loop_probability: float = 0.30
+    var_probability: float = 0.35
+    cmov_probability: float = 0.10
+    wide_literal_probability: float = 0.10
+    max_params: int = 3
+    # Simultaneous targets in the loop's multi-assignment.
+    max_loop_targets: int = 2
+
+
+@dataclass
+class FuzzCase:
+    """One generated program: its seed, the procedure s-expr, and text."""
+
+    seed: int
+    name: str
+    # The full ``(\procdecl ...)`` form as a nested s-expression.
+    form: list = field(default_factory=list)
+
+    @property
+    def source(self) -> str:
+        return render_sexpr(self.form)
+
+    def source_lines(self) -> List[str]:
+        """The program rendered one statement per line (for reports)."""
+        return render_lines(self.form)
+
+
+def render_lines(form: list) -> List[str]:
+    """Render a ``\\procdecl`` form with one line per statement.
+
+    The minimised counterexamples the shrinker reports are measured in
+    these lines, so keep the layout canonical: header, then every
+    statement of the (possibly nested) body on its own line.
+    """
+    _, name, params, result, body = form
+    header = "(\\procdecl %s %s %s" % (
+        name,
+        render_sexpr(params),
+        render_sexpr(result),
+    )
+    lines = [header]
+
+    def emit(stmt: SExpr, indent: int) -> None:
+        pad = "  " * indent
+        if isinstance(stmt, list) and stmt and stmt[0] in ("\\semi", "semi"):
+            lines.append(pad + "(\\semi")
+            for inner in stmt[1:]:
+                emit(inner, indent + 1)
+            lines.append(pad + ")")
+            return
+        if isinstance(stmt, list) and stmt and stmt[0] in ("\\var", "var"):
+            lines.append(pad + "(\\var %s" % render_sexpr(stmt[1]))
+            emit(stmt[2], indent + 1)
+            lines.append(pad + ")")
+            return
+        lines.append(pad + render_sexpr(stmt))
+
+    emit(body, 1)
+    lines.append(")")
+    return lines
+
+
+class _ExprGen:
+    """Random scalar expressions over the given variable names."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        cfg: GeneratorConfig,
+        scalars: Sequence[str],
+        pointers: Sequence[str],
+    ) -> None:
+        self.rng = rng
+        self.cfg = cfg
+        self.scalars = list(scalars)
+        self.pointers = list(pointers)
+
+    def literal(self) -> int:
+        if self.rng.random() < self.cfg.wide_literal_probability:
+            return self.rng.choice(_WIDE_LITERALS)
+        return self.rng.choice(_SMALL_LITERALS)
+
+    def leaf(self) -> SExpr:
+        if self.scalars and self.rng.random() < 0.7:
+            return self.rng.choice(self.scalars)
+        return self.literal()
+
+    def address(self) -> SExpr:
+        """A pointer-valued expression: a pointer param, maybe offset."""
+        base = self.rng.choice(self.pointers)
+        if self.rng.random() < 0.4:
+            return ["+", base, 8 * self.rng.randrange(4)]
+        return base
+
+    def expr(self, depth: int) -> SExpr:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.25:
+            return self.leaf()
+        roll = rng.random()
+        if self.pointers and roll < self.cfg.memory_probability:
+            return ["\\deref", self.address()]
+        if roll < 0.5:
+            op = _weighted(rng, _BINOPS)
+            rhs: SExpr
+            if op in ("<<", ">>", ">>a") and rng.random() < 0.8:
+                rhs = rng.choice((1, 2, 3, 4, 7, 8, 16, 24, 32, 48, 56))
+            else:
+                rhs = self.expr(depth - 1)
+            return [op, self.expr(depth - 1), rhs]
+        if roll < 0.62:
+            op = _weighted(rng, _BYTE_OPS)
+            index: SExpr = rng.randrange(8)
+            if op == "\\zapnot":
+                index = rng.choice((1, 3, 15, 0x55, 0xF0, 255))
+            return [op, self.expr(depth - 1), index]
+        if roll < 0.72:
+            op = _weighted(rng, _SCALED_OPS)
+            return [op, self.expr(depth - 1), self.expr(depth - 1)]
+        if roll < 0.72 + self.cfg.cmov_probability:
+            op = rng.choice(_CMOV_OPS)
+            return [
+                op,
+                self.expr(depth - 1),
+                self.expr(depth - 1),
+                self.expr(depth - 1),
+            ]
+        if roll < 0.90:
+            op = _weighted(rng, _UNARY_OPS)
+            return [op, self.expr(depth - 1)]
+        return ["-", self.expr(depth - 1)]
+
+
+def generate_case(seed: int, cfg: Optional[GeneratorConfig] = None) -> FuzzCase:
+    """Generate one well-typed random program for ``seed``."""
+    cfg = cfg if cfg is not None else GeneratorConfig()
+    rng = random.Random(seed)
+    name = "fz%d" % (seed & 0xFFFFFF)
+
+    n_scalars = rng.randrange(1, cfg.max_params + 1)
+    scalars = ["a", "b", "c"][:n_scalars]
+    params: List[list] = [[s, "long"] for s in scalars]
+    pointers: List[str] = []
+    use_memory = rng.random() < (
+        cfg.memory_probability + cfg.store_probability
+    )
+    if use_memory:
+        pointers = ["p"]
+        params.append(["p", ["\\ref", "long"]])
+
+    gen = _ExprGen(rng, cfg, scalars, pointers)
+    statements: List[SExpr] = []
+
+    # Optional let-style binding: a named subexpression used below.
+    bound: Optional[str] = None
+    if rng.random() < cfg.var_probability:
+        bound = "t"
+        init = gen.expr(cfg.max_depth - 1)
+        gen.scalars.append(bound)
+    else:
+        init = None
+
+    # Optional guarded loop over the scalar variables: the loop head cut
+    # turns its body into a guarded multi-assignment.
+    if rng.random() < cfg.loop_probability:
+        n_targets = rng.randrange(1, cfg.max_loop_targets + 1)
+        targets = rng.sample(gen.scalars, min(n_targets, len(gen.scalars)))
+        guard = [
+            rng.choice(("<", "<=", "==")),
+            rng.choice(gen.scalars),
+            gen.expr(1),
+        ]
+        pairs = [[t, gen.expr(cfg.max_depth - 1)] for t in targets]
+        # Guarantee the loop assigns something: a bare-leaf RHS can alias
+        # the target's loop-head value (``a := a``, or ``a := t`` with t
+        # bound to ``a``), and the translator drops identity assignments,
+        # rejecting a loop in which every pair degenerates.  Making the
+        # first RHS an operator application keeps it a real update.
+        if not isinstance(pairs[0][1], list):
+            pairs[0][1] = ["+", pairs[0][0], pairs[0][1]]
+        if pointers and rng.random() < cfg.store_probability:
+            pairs.append([["\\deref", gen.address()], gen.expr(1)])
+        statements.append(["\\do", ["->", guard, [":="] + pairs]])
+
+    # Optional pointer store in the tail.
+    if pointers and rng.random() < cfg.store_probability:
+        statements.append(
+            [":=", [["\\deref", gen.address()], gen.expr(cfg.max_depth - 1)]]
+        )
+
+    # The tail always computes \res, so the tail GMA exists and the
+    # whole program has a defined result to cross-check.
+    statements.append([":=", ["res", gen.expr(cfg.max_depth)]])
+
+    body: SExpr
+    if len(statements) == 1:
+        body = statements[0]
+    else:
+        body = ["\\semi"] + statements
+    if bound is not None:
+        body = ["\\var", [bound, "long", init], body]
+
+    form = ["\\procdecl", name, params, "long", body]
+    return FuzzCase(seed=seed, name=name, form=form)

@@ -1,0 +1,444 @@
+"""Cross-path differential oracles.
+
+One generated program exercises several independent execution paths of
+the system, and every pair must agree:
+
+* **asm-vs-eval** — the compiled schedule, executed on the
+  :mod:`repro.sim.machine` Alpha model, must compute the same values as
+  :mod:`repro.terms.evaluator` on the GMA's right-hand sides;
+* **solver-paths** — the persistent incremental solver and the
+  from-scratch per-probe solver must produce byte-identical assembly at
+  the same optimal cycle count (PR 3's canonical-model guarantee);
+* **strategies** — binary, linear and portfolio probe scheduling must
+  agree on the optimum and the emitted bytes;
+* **bruteforce** — on small register-only goals, a Massalin-style
+  exhaustive search (:mod:`repro.baselines.bruteforce`) must find a
+  program whose outputs match both the evaluator and the compiled
+  assembly.
+
+``check_case`` never raises on a bad program: every failure mode —
+including a crash inside the pipeline — becomes a :class:`Divergence`
+carrying the oracle name, so the shrinker can ask "does this smaller
+program still fail the *same* way?".
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.baselines.bruteforce import _execute as brute_execute
+from repro.baselines.bruteforce import brute_force_search, goal_from_term
+from repro.core.pipeline import CompilationResult, Denali, DenaliConfig
+from repro.core.probes import SearchStrategy
+from repro.isa import ev6
+from repro.lang import parse_program, translate_procedure
+from repro.lang.gma import GMA
+from repro.matching.saturation import SaturationConfig
+from repro.sim.machine import execute_schedule
+from repro.terms.ops import OperatorRegistry, Sort
+from repro.terms.term import subterms
+from repro.terms.values import M64
+from repro.verify.checker import check_schedule
+
+
+class OracleError(Exception):
+    """Raised on oracle-layer misuse (not on program divergence)."""
+
+
+# The oracle names, in the order they run.
+ORACLE_ASM = "asm-vs-eval"
+ORACLE_SOLVER = "solver-paths"
+ORACLE_STRATEGY = "strategies"
+ORACLE_BRUTE = "bruteforce"
+ORACLE_CRASH = "crash"
+
+ALL_ORACLES = (ORACLE_ASM, ORACLE_SOLVER, ORACLE_STRATEGY, ORACLE_BRUTE)
+
+
+@dataclass
+class OracleOptions:
+    """Which oracles to run and how hard to push them."""
+
+    max_cycles: int = 12
+    max_rounds: int = 10
+    max_enodes: int = 3000
+    verify_trials: int = 12
+    oracles: Tuple[str, ...] = ALL_ORACLES
+    # Brute-force eligibility / effort bounds.
+    brute_max_ops: int = 3
+    brute_max_inputs: int = 2
+    brute_max_sequences: int = 200_000
+    brute_trials: int = 8
+
+    def wants(self, oracle: str) -> bool:
+        return oracle in self.oracles
+
+    def narrowed_to(self, oracle: str) -> "OracleOptions":
+        """A copy that runs only ``oracle`` (the shrinker's predicate)."""
+        return OracleOptions(
+            max_cycles=self.max_cycles,
+            max_rounds=self.max_rounds,
+            max_enodes=self.max_enodes,
+            verify_trials=self.verify_trials,
+            oracles=(oracle,),
+            brute_max_ops=self.brute_max_ops,
+            brute_max_inputs=self.brute_max_inputs,
+            brute_max_sequences=self.brute_max_sequences,
+            brute_trials=self.brute_trials,
+        )
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between two paths through the system."""
+
+    oracle: str
+    label: str  # the GMA label ("" for whole-program failures)
+    detail: str
+    source: str = ""
+    seed: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "label": self.label,
+            "detail": self.detail,
+            "source": self.source,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class CaseReport:
+    """Everything ``check_case`` learned about one program."""
+
+    source: str
+    divergences: List[Divergence] = field(default_factory=list)
+    # oracle name -> number of comparisons actually performed.
+    checks: Dict[str, int] = field(default_factory=dict)
+    gmas: int = 0
+    compiled: int = 0  # GMAs for which the base path found a schedule
+    brute_skipped: int = 0  # ineligible or search gave up
+    elapsed_seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    def failing_oracles(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for d in self.divergences:
+            if d.oracle not in seen:
+                seen.append(d.oracle)
+        return tuple(seen)
+
+    def count(self, oracle: str) -> None:
+        self.checks[oracle] = self.checks.get(oracle, 0) + 1
+
+
+def _make_config(
+    options: OracleOptions,
+    strategy: SearchStrategy,
+    incremental: bool,
+) -> DenaliConfig:
+    return DenaliConfig(
+        min_cycles=1,
+        max_cycles=options.max_cycles,
+        strategy=strategy,
+        verify=False,  # the oracle layer runs its own checks
+        enable_incremental_solver=incremental,
+        saturation=SaturationConfig(
+            max_rounds=options.max_rounds, max_enodes=options.max_enodes
+        ),
+    )
+
+
+def _compile_path(
+    gma: GMA,
+    registry: OperatorRegistry,
+    axioms,
+    options: OracleOptions,
+    strategy: SearchStrategy = SearchStrategy.BINARY,
+    incremental: bool = True,
+    label: str = "",
+) -> CompilationResult:
+    den = Denali(
+        ev6(),
+        axioms=axioms,
+        registry=registry,
+        config=_make_config(options, strategy, incremental),
+    )
+    return den.compile_gma(gma, label=label)
+
+
+def _outcome_fingerprint(result: CompilationResult) -> Tuple:
+    """What two agreeing paths must share: the optimum and the bytes."""
+    if result.schedule is None:
+        return (None, None)
+    return (result.cycles, result.schedule.render())
+
+
+def _describe_mismatch(base: CompilationResult, other: CompilationResult,
+                       what: str) -> str:
+    b, o = _outcome_fingerprint(base), _outcome_fingerprint(other)
+    if b[0] != o[0]:
+        return "%s: cycles %s vs %s" % (what, b[0], o[0])
+    return "%s: same cycles (%s) but assembly differs:\n--- base\n%s\n--- %s\n%s" % (
+        what, b[0], b[1], what, o[1]
+    )
+
+
+# -- the brute-force oracle ----------------------------------------------------
+
+
+def _brute_eligible(gma: GMA, registry: OperatorRegistry,
+                    options: OracleOptions):
+    """A (term, input names, op count) triple when the GMA qualifies.
+
+    Brute force reproduces Massalin's restrictions: register-to-register
+    only, so memory-touching goals are out, and the enumeration explodes
+    with term size, so only small single-target tails qualify.
+    """
+    if gma.guard is not None or gma.targets != ("\\res",):
+        return None
+    term = gma.newvals[0]
+    names: List[str] = []
+    op_nodes = 0
+    for sub in subterms(term):
+        if sub.is_input:
+            if sub.sort != Sort.INT:
+                return None
+            if sub.name not in names:
+                names.append(sub.name)
+        elif not sub.is_const:
+            if sub.op in ("select", "store", "storeb"):
+                return None
+            sig = registry.get(sub.op)
+            if sig.eval_fn is None:
+                return None
+            op_nodes += 1
+    if op_nodes == 0 or op_nodes > options.brute_max_ops:
+        return None
+    if len(names) > options.brute_max_inputs:
+        return None
+    return term, sorted(names), op_nodes
+
+
+def _check_bruteforce(
+    report: CaseReport,
+    gma: GMA,
+    base: CompilationResult,
+    registry: OperatorRegistry,
+    options: OracleOptions,
+    label: str,
+    seed: int,
+) -> None:
+    eligible = _brute_eligible(gma, registry, options)
+    if eligible is None:
+        report.brute_skipped += 1
+        return
+    term, input_names, op_nodes = eligible
+    repertoire = sorted(
+        {sub.op for sub in subterms(term)
+         if not sub.is_input and not sub.is_const}
+    )
+    immediates = sorted(
+        {sub.value & M64 for sub in subterms(term) if sub.is_const}
+        | {0, 1, 8}
+    )[:8]
+    goal = goal_from_term(term, input_names, registry)
+    found = brute_force_search(
+        goal,
+        len(input_names),
+        max_length=min(3, op_nodes),
+        repertoire=repertoire,
+        immediates=immediates,
+        tests=16,
+        verify_tests=48,
+        seed=seed,
+        registry=registry,
+        max_sequences=options.brute_max_sequences,
+    )
+    if not found.found:
+        # An exhausted enumeration is inconclusive, not a divergence.
+        report.brute_skipped += 1
+        return
+    report.count(ORACLE_BRUTE)
+    eval_fns = {op: registry.get(op).eval_fn for op in repertoire}
+    rng = random.Random(seed ^ 0xB407E)
+    for _ in range(options.brute_trials):
+        values = tuple(rng.randrange(1 << 64) for _ in input_names)
+        want = goal(values)
+        got = brute_execute(found.program, values, eval_fns)
+        if got != want:
+            report.divergences.append(Divergence(
+                oracle=ORACLE_BRUTE, label=label, seed=seed,
+                detail="brute program disagrees with evaluator on %s: "
+                       "0x%x vs 0x%x\n%s"
+                       % (values, got, want, found.render(input_names)),
+            ))
+            return
+        if base.schedule is not None:
+            env = dict(zip(input_names, values))
+            state = execute_schedule(base.schedule, env, registry)
+            operand = base.schedule.goal_operands[0]
+            asm_val = (operand.literal if operand.literal is not None
+                       else state.read(operand.register))
+            if asm_val != want:
+                report.divergences.append(Divergence(
+                    oracle=ORACLE_BRUTE, label=label, seed=seed,
+                    detail="compiled asm disagrees with brute/evaluator on "
+                           "%s: 0x%x vs 0x%x" % (values, asm_val, want),
+                ))
+                return
+
+
+# -- the entry point -----------------------------------------------------------
+
+
+def check_case(
+    case: Union[str, "object"],
+    options: Optional[OracleOptions] = None,
+) -> CaseReport:
+    """Run every enabled oracle over one program.
+
+    ``case`` is a :class:`~repro.fuzz.generator.FuzzCase` or raw source
+    text.  The returned report's ``divergences`` list is empty exactly
+    when every path through the system agreed on every GMA.
+    """
+    options = options if options is not None else OracleOptions()
+    seed = getattr(case, "seed", None)
+    source = case if isinstance(case, str) else case.source
+    report = CaseReport(source=source)
+    start = time.perf_counter()
+    try:
+        _check_case_inner(report, source, options, seed)
+    finally:
+        report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def _check_case_inner(
+    report: CaseReport,
+    source: str,
+    options: OracleOptions,
+    seed: Optional[int],
+) -> None:
+    try:
+        program = parse_program(source)
+        if not program.procedures:
+            raise OracleError("program has no procedures")
+        gmas = []
+        for proc in program.procedures:
+            gmas.extend(translate_procedure(proc, program.registry))
+    except Exception as exc:
+        report.divergences.append(Divergence(
+            oracle=ORACLE_CRASH, label="", seed=seed, source=source,
+            detail="front end rejected the program: %s: %s"
+                   % (type(exc).__name__, exc),
+        ))
+        return
+    registry = program.registry
+    # One shared axiom corpus per case; built-ins come from the global
+    # compiled-axiom cache, so repeated cases only pay for program axioms.
+    from repro.axioms import AxiomSet
+    from repro.core import cache as _cache
+
+    axioms = _cache.global_axiom_cache().default_corpus(registry)
+    if program.axioms:
+        axioms = axioms + AxiomSet(program.axioms, "program")
+
+    report.gmas = len(gmas)
+    for label, gma in gmas:
+        try:
+            base = _compile_path(
+                gma, registry, axioms, options, label=label
+            )
+        except Exception as exc:
+            report.divergences.append(Divergence(
+                oracle=ORACLE_CRASH, label=label, seed=seed, source=source,
+                detail="pipeline crashed: %s: %s" % (type(exc).__name__, exc),
+            ))
+            continue
+        if base.schedule is not None:
+            report.compiled += 1
+
+        if options.wants(ORACLE_ASM) and base.schedule is not None:
+            report.count(ORACLE_ASM)
+            check = check_schedule(
+                gma, base.schedule, registry,
+                trials=options.verify_trials,
+                definitions=axioms.definitions(),
+            )
+            if not check.passed:
+                report.divergences.append(Divergence(
+                    oracle=ORACLE_ASM, label=label, seed=seed, source=source,
+                    detail="assembly disagrees with the reference "
+                           "evaluator: %s" % "; ".join(check.failures[:3]),
+                ))
+
+        if options.wants(ORACLE_SOLVER):
+            try:
+                scratch = _compile_path(
+                    gma, registry, axioms, options,
+                    incremental=False, label=label,
+                )
+            except Exception as exc:
+                report.divergences.append(Divergence(
+                    oracle=ORACLE_SOLVER, label=label, seed=seed,
+                    source=source,
+                    detail="scratch-solver path crashed: %s: %s"
+                           % (type(exc).__name__, exc),
+                ))
+            else:
+                report.count(ORACLE_SOLVER)
+                if _outcome_fingerprint(base) != _outcome_fingerprint(scratch):
+                    report.divergences.append(Divergence(
+                        oracle=ORACLE_SOLVER, label=label, seed=seed,
+                        source=source,
+                        detail=_describe_mismatch(
+                            base, scratch, "incremental vs scratch"
+                        ),
+                    ))
+
+        if options.wants(ORACLE_STRATEGY):
+            for strategy in (SearchStrategy.LINEAR, SearchStrategy.PORTFOLIO):
+                try:
+                    other = _compile_path(
+                        gma, registry, axioms, options,
+                        strategy=strategy, label=label,
+                    )
+                except Exception as exc:
+                    report.divergences.append(Divergence(
+                        oracle=ORACLE_STRATEGY, label=label, seed=seed,
+                        source=source,
+                        detail="%s strategy crashed: %s: %s"
+                               % (strategy.value, type(exc).__name__, exc),
+                    ))
+                    continue
+                report.count(ORACLE_STRATEGY)
+                if _outcome_fingerprint(base) != _outcome_fingerprint(other):
+                    report.divergences.append(Divergence(
+                        oracle=ORACLE_STRATEGY, label=label, seed=seed,
+                        source=source,
+                        detail=_describe_mismatch(
+                            base, other, "binary vs %s" % strategy.value
+                        ),
+                    ))
+
+        if options.wants(ORACLE_BRUTE):
+            try:
+                _check_bruteforce(
+                    report, gma, base, registry, options, label,
+                    seed if seed is not None else 0,
+                )
+            except Exception as exc:
+                report.divergences.append(Divergence(
+                    oracle=ORACLE_BRUTE, label=label, seed=seed,
+                    source=source,
+                    detail="brute-force oracle crashed: %s: %s"
+                           % (type(exc).__name__, exc),
+                ))

@@ -1,0 +1,245 @@
+"""Case minimisation: delta debugging over the program's s-expression.
+
+Given a failing program and a predicate "does this candidate still fail
+the same oracle?", the shrinker greedily applies structural reductions
+until none is accepted:
+
+* drop a statement from a ``\\semi`` sequence (or the whole loop);
+* inline a ``\\var`` binding (substitute the initialiser) or zero it;
+* replace any expression by one of its subexpressions, by a variable it
+  mentions, or by the literals ``0`` / ``1``;
+* drop a parameter the body no longer reads.
+
+Candidates that no longer parse, translate or fail differently are
+simply rejected by the predicate, so the reducers never need to reason
+about well-typedness — the translator is the type checker.  Reductions
+strictly shrink a node-count measure, so termination is structural, and
+the predicate is memoised on rendered source so the (expensive) oracle
+run happens once per distinct candidate.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.axioms.sexpr import SExpr, render_sexpr
+from repro.fuzz.generator import FuzzCase
+
+Path = Tuple[int, ...]
+
+
+def _size(expr: SExpr) -> int:
+    if isinstance(expr, list):
+        return 1 + sum(_size(e) for e in expr)
+    return 1
+
+
+def _get(form: SExpr, path: Path) -> SExpr:
+    node = form
+    for index in path:
+        node = node[index]
+    return node
+
+
+def _replace(form: list, path: Path, value: SExpr) -> list:
+    """A copy of ``form`` with the node at ``path`` replaced."""
+    new = copy.deepcopy(form)
+    node = new
+    for index in path[:-1]:
+        node = node[index]
+    node[path[-1]] = value
+    return new
+
+
+def _delete(form: list, path: Path) -> list:
+    new = copy.deepcopy(form)
+    node = new
+    for index in path[:-1]:
+        node = node[index]
+    del node[path[-1]]
+    return new
+
+
+def _statement_paths(form: list) -> List[Path]:
+    """Paths of every statement inside the procedure body."""
+    out: List[Path] = []
+
+    def walk(stmt: SExpr, path: Path) -> None:
+        if not isinstance(stmt, list) or not stmt:
+            return
+        head = stmt[0]
+        if head in ("\\semi", "semi"):
+            for i in range(1, len(stmt)):
+                out.append(path + (i,))
+                walk(stmt[i], path + (i,))
+        elif head in ("\\var", "var"):
+            walk(stmt[2], path + (2,))
+        elif head in ("\\do", "do"):
+            # The arm is (-> guard body).
+            walk(stmt[1][2], path + (1, 2))
+        elif head in ("\\unroll", "unroll"):
+            walk(stmt[2], path + (2,))
+
+    walk(form[4], (4,))
+    return out
+
+
+def _expr_paths(form: list) -> List[Path]:
+    """Paths of every *expression* position (RHSs, guards, addresses)."""
+    out: List[Path] = []
+
+    def exprs_of(stmt: SExpr, path: Path) -> None:
+        if not isinstance(stmt, list) or not stmt:
+            return
+        head = stmt[0]
+        if head in ("\\semi", "semi"):
+            for i in range(1, len(stmt)):
+                exprs_of(stmt[i], path + (i,))
+        elif head in ("\\var", "var"):
+            if len(stmt[1]) == 3:
+                out.append(path + (1, 2))
+            exprs_of(stmt[2], path + (2,))
+        elif head in ("\\do", "do"):
+            out.append(path + (1, 1))  # the guard
+            exprs_of(stmt[1][2], path + (1, 2))
+        elif head in ("\\unroll", "unroll"):
+            exprs_of(stmt[2], path + (2,))
+        elif head == ":=":
+            for i in range(1, len(stmt)):
+                out.append(path + (i, 1))
+                target = stmt[i][0]
+                if isinstance(target, list) and len(target) == 2:
+                    out.append(path + (i, 0, 1))  # a (\deref addr) target
+
+    exprs_of(form[4], (4,))
+    return out
+
+
+def _subexpr_replacements(expr: SExpr) -> Iterator[SExpr]:
+    """Smaller expressions to try in place of ``expr``, best first."""
+    if isinstance(expr, list):
+        for child in expr[1:]:
+            yield copy.deepcopy(child)
+    if expr != 0:
+        yield 0
+    if expr != 1:
+        yield 1
+
+
+def _substitute(expr: SExpr, name: str, value: SExpr) -> SExpr:
+    if isinstance(expr, str) and expr == name:
+        return copy.deepcopy(value)
+    if isinstance(expr, list):
+        return [_substitute(e, name, value) for e in expr]
+    return expr
+
+
+def _symbols(expr: SExpr) -> set:
+    if isinstance(expr, str):
+        return {expr}
+    if isinstance(expr, list):
+        out: set = set()
+        for e in expr:
+            out |= _symbols(e)
+        return out
+    return set()
+
+
+def _candidates(form: list) -> Iterator[list]:
+    """All one-step reductions of the procedure, biggest wins first."""
+    # 1. Drop whole statements (a \semi child, or collapse the \semi).
+    for path in sorted(
+        _statement_paths(form),
+        key=lambda p: -_size(_get(form, p)),
+    ):
+        parent = _get(form, path[:-1])
+        if isinstance(parent, list) and parent and \
+                parent[0] in ("\\semi", "semi") and len(parent) > 2:
+            yield _delete(form, path)
+
+    # 2. Collapse a two-statement \semi to its single remaining child,
+    #    and a \var wrapper to its body (initialiser inlined).
+    def structural(stmt: SExpr, path: Path) -> Iterator[list]:
+        if not isinstance(stmt, list) or not stmt:
+            return
+        head = stmt[0]
+        if head in ("\\semi", "semi"):
+            if len(stmt) == 2:
+                yield _replace(form, path, copy.deepcopy(stmt[1]))
+            for i in range(1, len(stmt)):
+                for c in structural(stmt[i], path + (i,)):
+                    yield c
+        elif head in ("\\var", "var"):
+            name = stmt[1][0]
+            init: SExpr = stmt[1][2] if len(stmt[1]) == 3 else 0
+            yield _replace(form, path, _substitute(stmt[2], name, init))
+            for c in structural(stmt[2], path + (2,)):
+                yield c
+        elif head in ("\\do", "do"):
+            for c in structural(stmt[1][2], path + (1, 2)):
+                yield c
+        elif head in ("\\unroll", "unroll"):
+            yield _replace(form, path, copy.deepcopy(stmt[2]))
+            for c in structural(stmt[2], path + (2,)):
+                yield c
+
+    for c in structural(form[4], (4,)):
+        yield c
+
+    # 3. Shrink expressions: replace by a subexpression or a literal.
+    for path in sorted(
+        _expr_paths(form), key=lambda p: -_size(_get(form, p))
+    ):
+        expr = _get(form, path)
+        if _size(expr) <= 1 and expr in (0, 1):
+            continue
+        for replacement in _subexpr_replacements(expr):
+            yield _replace(form, path, replacement)
+
+    # 4. Drop parameters the body no longer mentions.
+    used = _symbols(form[4])
+    params = form[2]
+    for i, param in enumerate(params):
+        if param[0] not in used and len(params) > 1:
+            yield _delete(form, (2, i))
+
+
+def shrink_case(
+    case: FuzzCase,
+    still_fails: Callable[[FuzzCase], bool],
+    max_attempts: int = 600,
+) -> FuzzCase:
+    """Minimise ``case`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` receives a candidate :class:`FuzzCase` (same seed,
+    reduced form) and decides whether it reproduces the original
+    failure.  The original case is returned unchanged if no reduction
+    survives; the predicate is never called on the original.
+    """
+    best = case
+    attempts = 0
+    tried = {best.source}
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate_form in _candidates(best.form):
+            if attempts >= max_attempts:
+                break
+            candidate = FuzzCase(
+                seed=case.seed, name=case.name, form=candidate_form
+            )
+            if _size(candidate_form) >= _size(best.form):
+                continue
+            if candidate.source in tried:
+                continue
+            tried.add(candidate.source)
+            attempts += 1
+            try:
+                if still_fails(candidate):
+                    best = candidate
+                    improved = True
+                    break  # restart candidate generation on the new best
+            except Exception:
+                continue  # a crashing candidate is not a reduction
+    return best

@@ -1,0 +1,110 @@
+"""Axiom soundness spot-checks: every built-in axiom on random values."""
+
+from repro.axioms.axiom import (
+    AxiomClause,
+    AxiomDistinction,
+    AxiomEquality,
+    Pattern,
+)
+from repro.core.cache import global_axiom_cache
+from repro.fuzz import check_axiom, check_axiom_set
+from repro.terms.ops import default_registry
+
+V = Pattern.variable
+A = Pattern.apply
+
+
+class TestBuiltinCorpus:
+    def test_every_builtin_axiom_is_sound(self):
+        """Spot-check the full math + Alpha + constant-synthesis corpus.
+
+        Skips are failures too: every shipped axiom must be over
+        evaluable operators, or the evaluator-based oracles could never
+        have exercised it.
+        """
+        registry = default_registry()
+        axioms = global_axiom_cache().default_corpus(registry)
+        reports = check_axiom_set(axioms, registry, trials=24, seed=2)
+        failed = [r for r in reports if r.failures]
+        skipped = [r for r in reports if r.skipped]
+        assert not failed, [
+            (r.name, r.pretty, r.failures[0]) for r in failed
+        ]
+        assert not skipped, [(r.name, r.reason) for r in skipped]
+        assert len(reports) > 100
+
+
+class TestUnsoundAxiomsAreCaught:
+    def test_wrong_equality(self):
+        bogus = AxiomEquality(
+            name="bogus-add-is-sub",
+            variables=("x", "y"),
+            triggers=(A("add64", V("x"), V("y")),),
+            lhs=A("add64", V("x"), V("y")),
+            rhs=A("sub64", V("x"), V("y")),
+        )
+        report = check_axiom(bogus, trials=32, seed=0)
+        assert not report.passed
+        assert report.failures
+
+    def test_wrong_distinction(self):
+        # x != x & x is false whenever... always: and64(x,x) == x.
+        bogus = AxiomDistinction(
+            name="bogus-distinct",
+            variables=("x",),
+            triggers=(A("and64", V("x"), V("x")),),
+            lhs=A("and64", V("x"), V("x")),
+            rhs=V("x"),
+        )
+        report = check_axiom(bogus, trials=8, seed=0)
+        assert report.failures
+
+    def test_wrong_clause(self):
+        # Neither literal ever holds: x+1 != x and x != x+2 (mod 2^64).
+        bogus = AxiomClause(
+            name="bogus-clause",
+            variables=("x",),
+            triggers=(A("add64", V("x"), Pattern.constant(1)),),
+            literals=(
+                ("eq", A("add64", V("x"), Pattern.constant(1)), V("x")),
+                ("eq", A("add64", V("x"), Pattern.constant(2)), V("x")),
+            ),
+        )
+        report = check_axiom(bogus, trials=8, seed=0)
+        assert report.failures
+
+    def test_sound_handwritten_axioms_pass(self):
+        commut = AxiomEquality(
+            name="add-commutes",
+            variables=("x", "y"),
+            triggers=(A("add64", V("x"), V("y")),),
+            lhs=A("add64", V("x"), V("y")),
+            rhs=A("add64", V("y"), V("x")),
+        )
+        assert check_axiom(commut, trials=32, seed=5).passed
+
+    def test_memory_axiom_compared_extensionally(self):
+        select_store = AxiomEquality(
+            name="select-of-store",
+            variables=("m", "p", "v"),
+            triggers=(A("store", V("m"), V("p"), V("v")),),
+            lhs=A("select", A("store", V("m"), V("p"), V("v")), V("p")),
+            rhs=V("v"),
+        )
+        assert check_axiom(select_store, trials=16, seed=3).passed
+
+    def test_uninterpreted_op_is_skipped_not_passed(self):
+        from repro.terms.ops import Sort
+
+        registry = default_registry().copy()
+        registry.declare("mystery", (Sort.INT, Sort.INT), Sort.INT)
+        weird = AxiomEquality(
+            name="about-mystery",
+            variables=("x", "y"),
+            triggers=(A("mystery", V("x"), V("y")),),
+            lhs=A("mystery", V("x"), V("y")),
+            rhs=A("mystery", V("y"), V("x")),
+        )
+        report = check_axiom(weird, registry=registry, trials=4, seed=0)
+        assert report.skipped
+        assert not report.passed

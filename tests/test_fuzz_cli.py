@@ -1,0 +1,149 @@
+"""Tests for the ``repro fuzz`` CLI verb and the campaign driver."""
+
+import json
+
+from repro.cli import EXIT_FAILURE, EXIT_OK, EXIT_USAGE, main
+from repro.fuzz import FuzzConfig, OracleOptions, run_fuzz
+
+
+class TestDriver:
+    def test_campaign_is_deterministic(self):
+        a = run_fuzz(FuzzConfig(seed=3, iterations=4))
+        b = run_fuzz(FuzzConfig(seed=3, iterations=4))
+        assert a.ok and b.ok
+        assert a.to_dict()["checks"] == b.to_dict()["checks"]
+        assert a.gmas == b.gmas
+
+    def test_time_budget_stops_early(self):
+        report = run_fuzz(
+            FuzzConfig(seed=0, iterations=10_000, time_budget_seconds=0.0)
+        )
+        assert report.iterations == 0
+        assert report.stopped_early == "time-budget"
+
+    def test_report_shape(self):
+        report = run_fuzz(FuzzConfig(seed=1, iterations=3))
+        payload = report.to_dict()
+        assert payload["iterations"] == 3
+        assert payload["requested_iterations"] == 3
+        assert payload["ok"] is True
+        assert payload["failures"] == []
+        assert payload["gmas"] >= 3
+        assert payload["elapsed_seconds"] >= 0
+
+    def test_progress_callback_fires(self):
+        seen = []
+        run_fuzz(
+            FuzzConfig(seed=2, iterations=3),
+            progress=lambda i, partial: seen.append(i),
+        )
+        assert seen == [0, 1, 2]
+
+
+class TestFuzzVerb:
+    def test_small_campaign(self, capsys):
+        status = main(["fuzz", "--seed", "1", "--iterations", "3"])
+        err = capsys.readouterr().err
+        assert status == EXIT_OK
+        assert "fuzz: 3 cases" in err
+        assert "0 failures" in err
+
+    def test_json_output(self, capsys):
+        status = main(
+            ["fuzz", "--seed", "1", "--iterations", "2", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert status == EXIT_OK
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["iterations"] == 2
+
+    def test_oracle_subset(self, capsys):
+        status = main(
+            [
+                "fuzz", "--seed", "1", "--iterations", "2",
+                "--oracles", "asm-vs-eval", "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == EXIT_OK
+        assert set(payload["checks"]) <= {"asm-vs-eval"}
+
+    def test_unknown_oracle_is_usage_error(self, capsys):
+        status = main(["fuzz", "--oracles", "nope"])
+        assert status == EXIT_USAGE
+        assert "unknown oracle" in capsys.readouterr().err
+
+    def test_nonpositive_iterations_is_usage_error(self, capsys):
+        status = main(["fuzz", "--iterations", "0"])
+        assert status == EXIT_USAGE
+
+    def test_replay_directory(self, tmp_path, capsys):
+        from repro.fuzz import save_case
+
+        save_case(
+            "(\\procdecl t ((a long)) long (:= (res (+ a 1))))",
+            "ok_case",
+            directory=str(tmp_path),
+        )
+        status = main(["fuzz", "--replay", str(tmp_path)])
+        err = capsys.readouterr().err
+        assert status == EXIT_OK
+        assert "1/1 passed" in err
+
+    def test_replay_failure_sets_exit_code(self, tmp_path, capsys):
+        from repro.fuzz import save_case
+
+        save_case(
+            "(\\procdecl broken ((a long)) long",
+            "broken",
+            directory=str(tmp_path),
+        )
+        status = main(["fuzz", "--replay", str(tmp_path), "--json"])
+        out = capsys.readouterr().out
+        assert status == EXIT_FAILURE
+        assert json.loads(out)["ok"] is False
+
+
+class TestFailurePath:
+    def test_failures_are_minimised_and_saved(self, tmp_path, monkeypatch):
+        """End to end: injected bug -> divergence -> shrink -> corpus."""
+        from repro.terms.evaluator import Evaluator
+
+        real = Evaluator._eval_uncached
+
+        def buggy(self, term):
+            value = real(self, term)
+            if (
+                not term.is_const
+                and not term.is_input
+                and term.op == "xor64"
+            ):
+                value = value ^ 1
+            return value
+
+        monkeypatch.setattr(Evaluator, "_eval_uncached", buggy)
+
+        # Iterate until the campaign stream hits an xor-bearing case;
+        # seed 4 reaches one within a few iterations.
+        report = run_fuzz(
+            FuzzConfig(
+                seed=4,
+                iterations=30,
+                oracle=OracleOptions(oracles=("asm-vs-eval",)),
+                save_failures_to=str(tmp_path),
+                max_failures=1,
+            )
+        )
+        assert not report.ok
+        assert report.stopped_early == "max-failures"
+        (failure,) = report.failures
+        assert failure.oracles == ["asm-vs-eval"]
+        assert failure.minimized_lines <= len(
+            failure.source.splitlines()
+        ) + 2  # minimised rendering is line-per-statement
+        saved = list(tmp_path.glob("*.dn"))
+        assert len(saved) == 1
+        text = saved[0].read_text()
+        assert "; oracle: asm-vs-eval" in text
+        assert "\\procdecl" in text

@@ -1,0 +1,92 @@
+"""Tests for the persisted regression corpus and its replay."""
+
+import time
+
+from repro.fuzz import (
+    corpus_dir,
+    load_corpus,
+    replay_corpus,
+    save_case,
+)
+
+
+class TestCorpusFiles:
+    def test_corpus_is_seeded(self):
+        entries = load_corpus()
+        assert len(entries) >= 10
+        names = {e.name for e in entries}
+        assert "regression_ldiq_goal" in names
+
+    def test_headers_are_parsed(self):
+        by_name = {e.name: e for e in load_corpus()}
+        entry = by_name["gen_0179"]
+        assert entry.seed == 179
+        assert "loop" in entry.metadata["features"]
+        regression = by_name["regression_ldiq_goal"]
+        assert regression.metadata["oracle"] == "crash"
+        assert regression.seed is None
+
+    def test_feature_coverage(self):
+        """The seeded corpus spans the generator's structural features."""
+        text = "\n".join(e.source for e in load_corpus())
+        for marker in ("\\do", "\\deref", "\\var", "\\cmov", "\\procdecl"):
+            assert marker in text
+
+
+class TestSaveAndLoad:
+    def test_roundtrip(self, tmp_path):
+        directory = str(tmp_path)
+        path = save_case(
+            "(\\procdecl t ((a long)) long (:= (res a)))",
+            "my case!",
+            directory=directory,
+            metadata={"seed": 42, "oracle": "asm-vs-eval"},
+        )
+        assert path.endswith("my_case_.dn")
+        (entry,) = load_corpus(directory)
+        assert entry.seed == 42
+        assert entry.metadata["oracle"] == "asm-vs-eval"
+        assert "(:= (res a))" in entry.source
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CORPUS_DIR", str(tmp_path))
+        assert corpus_dir() == str(tmp_path)
+
+    def test_save_overwrites_by_name(self, tmp_path):
+        directory = str(tmp_path)
+        save_case("(\\procdecl a ((x long)) long (:= (res 1)))", "c",
+                  directory=directory)
+        save_case("(\\procdecl a ((x long)) long (:= (res 2)))", "c",
+                  directory=directory)
+        (entry,) = load_corpus(directory)
+        assert "(res 2)" in entry.source
+
+
+class TestReplay:
+    def test_replay_passes_and_is_fast(self):
+        """Every corpus entry passes every oracle, inside the fast tier.
+
+        The 10-second bound is the acceptance criterion for keeping the
+        replay in tier 1; corpus additions that blow the budget belong in
+        the slow tier or need faster programs.
+        """
+        start = time.perf_counter()
+        report = replay_corpus()
+        elapsed = time.perf_counter() - start
+        assert report.entries >= 10
+        assert report.ok, report.failures
+        assert elapsed < 10.0, "corpus replay took %.1fs" % elapsed
+
+    def test_replay_reports_failures(self, tmp_path):
+        directory = str(tmp_path)
+        save_case("(\\procdecl broken ((a long)) long", "broken",
+                  directory=directory)
+        report = replay_corpus(directory)
+        assert not report.ok
+        assert report.entries == 1 and report.passed == 0
+        assert "broken" in report.failures[0]
+
+    def test_replay_empty_directory(self, tmp_path):
+        report = replay_corpus(str(tmp_path))
+        assert report.ok
+        assert report.entries == 0

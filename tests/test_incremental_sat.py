@@ -10,6 +10,7 @@ on every probe and byte-identical assembly.
 
 import itertools
 import os
+import random
 
 import pytest
 
@@ -280,3 +281,99 @@ class TestDifferential:
     def test_checksum_portfolio(self):
         _assert_agree("checksum.dn", strategy="portfolio",
                       compare_verdicts=False)
+
+
+class TestRetireDifferential:
+    """Retiring earlier budgets must not perturb later-budget answers.
+
+    A seeded random ladder: shared base clauses plus one gated clause
+    group per budget.  The incremental solver probes budget ``k`` after
+    retiring budgets ``1..k-1`` (which asserts their selectors false and
+    drops their learnt clauses); a from-scratch solver sees only the
+    base plus budget ``k``'s clauses, un-gated.  Verdicts must match,
+    and on SAT the canonical models restricted to the problem variables
+    must be byte-for-byte identical — selectors live above the problem
+    variables, so the lex-least prefix is decided by the problem clauses
+    alone.
+    """
+
+    N_VARS = 8
+
+    def _random_group(self, rng, n_clauses=6):
+        group = []
+        for _ in range(n_clauses):
+            size = rng.randint(1, 3)
+            chosen = rng.sample(range(1, self.N_VARS + 1), size)
+            group.append(
+                [v if rng.random() < 0.5 else -v for v in chosen]
+            )
+        return group
+
+    def _fresh_answer(self, clauses):
+        cnf = CNF()
+        for _ in range(self.N_VARS):
+            cnf.new_var()
+        for cl in clauses:
+            cnf.add_clause(cl)
+        return CdclSolver().solve(cnf, canonical_model=True)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_later_budgets_unaffected_by_retirement(self, seed):
+        rng = random.Random(seed)
+        base = self._random_group(rng, n_clauses=4)
+        budgets = {k: self._random_group(rng) for k in range(1, 5)}
+
+        inc = IncrementalSolver()
+        inc.ensure_vars(self.N_VARS)
+        for cl in base:
+            inc.add_clause(cl)
+        for k, group in budgets.items():
+            sel = self.N_VARS + k
+            inc.ensure_vars(sel)
+            inc.push_budget(k, sel)
+            for cl in group:
+                inc.add_clause([-sel] + cl)
+
+        for k in sorted(budgets):
+            if k > 1:
+                inc.retire_budget(k - 1)
+            got = inc.solve_budget(k, canonical_model=True)
+            want = self._fresh_answer(base + budgets[k])
+            assert got.satisfiable == want.satisfiable, "budget %d" % k
+            if want.satisfiable:
+                restrict = lambda model: {
+                    v: model[v] for v in range(1, self.N_VARS + 1)
+                }
+                assert restrict(got.model) == restrict(want.model)
+
+    def test_retire_after_unsat_probe_matches_fresh(self):
+        """An UNSAT probe's learnt clauses die with its budget."""
+        rng = random.Random(99)
+        base = self._random_group(rng, n_clauses=3)
+        group = self._random_group(rng)
+
+        inc = IncrementalSolver()
+        inc.ensure_vars(self.N_VARS)
+        for cl in base:
+            inc.add_clause(cl)
+        sel1 = self.N_VARS + 1
+        inc.ensure_vars(sel1)
+        inc.push_budget(1, sel1)
+        _pigeonhole(inc, holes=4, sel=sel1, base=sel1 + 1)
+        assert inc.solve_budget(1).satisfiable is False
+
+        sel2 = sel1 + 1 + 5 * 4  # above the pigeonhole variables
+        inc.ensure_vars(sel2)
+        inc.push_budget(2, sel2)
+        for cl in group:
+            inc.add_clause([-sel2] + cl)
+        inc.retire_budget(1)
+        with pytest.raises(KeyError):
+            inc.solve_budget(1)
+
+        got = inc.solve_budget(2, canonical_model=True)
+        want = self._fresh_answer(base + group)
+        assert got.satisfiable == want.satisfiable
+        if want.satisfiable:
+            for v in range(1, self.N_VARS + 1):
+                assert got.model[v] == want.model[v]
