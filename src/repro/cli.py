@@ -112,6 +112,13 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         "of reusing one incremental solver per session",
     )
     parser.add_argument(
+        "--no-incremental-match",
+        action="store_true",
+        help="re-scan the whole E-graph for every saturation round instead "
+        "of matching only against the dirty cone (the naive differential-"
+        "oracle path)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="print assembly only"
     )
 
@@ -290,7 +297,7 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="LIST",
         help="comma-separated oracle subset (default: all): "
-        "asm-vs-eval,solver-paths,strategies,bruteforce",
+        "asm-vs-eval,solver-paths,strategies,matching,bruteforce",
     )
     parser.add_argument(
         "--max-cycles",
@@ -432,7 +439,9 @@ def _compile_main(argv: List[str]) -> int:
         miss_latency=args.miss_latency,
         enable_incremental_solver=not args.no_incremental,
         saturation=SaturationConfig(
-            max_rounds=args.max_rounds, max_enodes=args.max_enodes
+            max_rounds=args.max_rounds,
+            max_enodes=args.max_enodes,
+            incremental_match=not args.no_incremental_match,
         ),
     )
     den = Denali(spec, axioms=axioms, registry=program.registry, config=config)
@@ -579,6 +588,7 @@ def _batch_specs(args) -> List:
                 load_latency=args.load_latency,
                 miss_latency=args.miss_latency,
                 incremental=not args.no_incremental,
+                incremental_match=not args.no_incremental_match,
                 timeout_seconds=args.job_timeout,
             )
         )
@@ -878,6 +888,9 @@ def _write_profile_json(args, collected) -> None:
     gmas = []
     totals = {"propagations": 0, "conflicts": 0, "learned": 0,
               "learned_reused": 0}
+    sat_totals = {"matches_attempted": 0, "matches_found": 0,
+                  "matches_pruned": 0, "instances_asserted": 0,
+                  "rounds": 0}
     for stats in collected:
         probes = []
         for p in stats.probes:
@@ -899,12 +912,40 @@ def _write_profile_json(args, collected) -> None:
             totals["conflicts"] += p.conflicts
             totals["learned"] += p.learned
             totals["learned_reused"] += p.learned_reused
+        saturation = None
+        if stats.saturation is not None:
+            s = stats.saturation
+            saturation = {
+                "incremental": s.incremental,
+                "rounds": s.rounds,
+                "matches_attempted": s.matches_attempted,
+                "matches_found": s.matches_found,
+                "matches_pruned": s.matches_pruned,
+                "instances_asserted": s.instances_asserted,
+                "budget_hits": {
+                    key: dict(val) if isinstance(val, dict) else val
+                    for key, val in s.budget_hits.items()
+                },
+                "per_axiom_seconds": {
+                    name: round(entry.get("seconds", 0.0), 6)
+                    for name, entry in s.per_axiom.items()
+                },
+                "phase_seconds": {
+                    k: round(v, 6) for k, v in s.phase_seconds.items()
+                },
+            }
+            sat_totals["matches_attempted"] += s.matches_attempted
+            sat_totals["matches_found"] += s.matches_found
+            sat_totals["matches_pruned"] += s.matches_pruned
+            sat_totals["instances_asserted"] += s.instances_asserted
+            sat_totals["rounds"] += s.rounds
         gmas.append(
             {
                 "label": stats.label,
                 "stage_seconds": {
                     k: round(v, 6) for k, v in stats.timings.items()
                 },
+                "saturation": saturation,
                 "probes": probes,
             }
         )
@@ -912,8 +953,10 @@ def _write_profile_json(args, collected) -> None:
         "source": args.source,
         "strategy": args.strategy,
         "incremental": not args.no_incremental,
+        "incremental_match": not args.no_incremental_match,
         "gmas": gmas,
         "totals": totals,
+        "saturation_totals": sat_totals,
     }
     with open(args.profile_json, "w") as handle:
         json.dump(report, handle, indent=2)

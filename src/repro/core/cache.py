@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.axioms.axiom import AxiomSet
-from repro.egraph.egraph import EGraph
+from repro.egraph.egraph import EGraph, EGraphSnapshot
 from repro.matching.saturation import SaturationConfig, SaturationStats
 from repro.terms.ops import OperatorRegistry
 from repro.terms.term import Term
@@ -93,6 +93,7 @@ def saturation_key(
             config.synthesize_byte_masks,
             config.synthesize_mask_alternatives,
             config.max_pow2_exponent,
+            config.incremental_match,
         ),
     )
 
@@ -101,17 +102,19 @@ def saturation_key(
 
 
 class SaturationCache:
-    """LRU cache of saturated E-graphs.
+    """LRU cache of saturated E-graph snapshots.
 
-    Entries are stored as pristine masters; lookups hand out independent
-    copies (the pipeline mutates its working graph — ldiq injection,
-    latency-override terms), so a hit never contaminates the cache.
+    Entries are :class:`~repro.egraph.egraph.EGraphSnapshot` handles —
+    rebuilt, index-warm masters frozen at quiescence.  Lookups hand out
+    independent restorations (the pipeline mutates its working graph —
+    ldiq injection, latency-override terms), so a hit never contaminates
+    the cache, and one snapshot can seed any number of probe sessions.
     """
 
     def __init__(self, max_entries: int = 64) -> None:
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self._entries: "OrderedDict[Hashable, Tuple[EGraph, SaturationStats]]" = (
+        self._entries: "OrderedDict[Hashable, Tuple[EGraphSnapshot, SaturationStats]]" = (
             OrderedDict()
         )
         self._lock = threading.Lock()
@@ -124,9 +127,10 @@ class SaturationCache:
             self._entries.clear()
             self.stats = CacheStats()
 
-    def lookup(
+    def lookup_snapshot(
         self, key: Hashable
-    ) -> Optional[Tuple[EGraph, SaturationStats]]:
+    ) -> Optional[Tuple[EGraphSnapshot, SaturationStats]]:
+        """The cached snapshot handle itself (shared, immutable)."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -134,15 +138,34 @@ class SaturationCache:
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
-            master, stats = entry
-            return master.copy(), replace(stats)
+            snapshot, stats = entry
+            return snapshot, stats.copy()
 
-    def store(self, key: Hashable, eg: EGraph, stats: SaturationStats) -> None:
+    def store_snapshot(
+        self,
+        key: Hashable,
+        snapshot: EGraphSnapshot,
+        stats: SaturationStats,
+    ) -> None:
         with self._lock:
-            self._entries[key] = (eg.copy(), replace(stats))
+            self._entries[key] = (snapshot, stats.copy())
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+
+    def lookup(
+        self, key: Hashable
+    ) -> Optional[Tuple[EGraph, SaturationStats]]:
+        """EGraph-facing wrapper: restore a fresh working graph on hit."""
+        entry = self.lookup_snapshot(key)
+        if entry is None:
+            return None
+        snapshot, stats = entry
+        return snapshot.restore(), stats
+
+    def store(self, key: Hashable, eg: EGraph, stats: SaturationStats) -> None:
+        """EGraph-facing wrapper: freeze ``eg`` into a snapshot and store it."""
+        self.store_snapshot(key, eg.snapshot(), stats)
 
 
 _GLOBAL_SATURATION_CACHE = SaturationCache()

@@ -224,9 +224,11 @@ class Denali:
         if input_registers is None:
             input_registers = self._default_input_registers(gma)
 
-        # Phase 1: matching (once per GMA — section 3), cache-served when
-        # the identical goals/axioms/config were saturated before.
-        eg, goal_ids = session.saturate()
+        # Phase 1: matching (once per GMA — section 3), restored from a
+        # cached snapshot when the identical goals/axioms/config were
+        # saturated before.
+        handle = session.saturate()
+        eg, goal_ids = handle.egraph, handle.goal_ids
 
         unsafe = self._unsafe_terms(eg, gma, goal_ids)
         overrides = self._latency_overrides(eg, gma)

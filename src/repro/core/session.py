@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core import cache as _cache
 from repro.core.probes import Probe, SearchOutcome, get_scheduler
-from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.egraph import EGraph, EGraphSnapshot, ENode
 from repro.encode.constraints import IncrementalEncoder, encode_schedule
 from repro.lang.gma import GMA
 from repro.matching.saturation import SaturationStats, saturate
@@ -68,12 +68,36 @@ class StageStats:
     def to_dict(self) -> dict:
         sat = None
         if self.saturation is not None:
+            s = self.saturation
             sat = {
-                "rounds": self.saturation.rounds,
-                "instances_asserted": self.saturation.instances_asserted,
-                "quiescent": self.saturation.quiescent,
-                "enodes": self.saturation.enodes,
-                "classes": self.saturation.classes,
+                "rounds": s.rounds,
+                "instances_asserted": s.instances_asserted,
+                "quiescent": s.quiescent,
+                "enodes": s.enodes,
+                "classes": s.classes,
+                "incremental": s.incremental,
+                "matches_attempted": s.matches_attempted,
+                "matches_found": s.matches_found,
+                "matches_pruned": s.matches_pruned,
+                "clauses_recorded": s.clauses_recorded,
+                "clause_assertions": s.clause_assertions,
+                "constants_folded": s.constants_folded,
+                "constants_synthesized": s.constants_synthesized,
+                "budget_hits": {
+                    key: dict(val) if isinstance(val, dict) else val
+                    for key, val in s.budget_hits.items()
+                },
+                "per_axiom": {
+                    name: {
+                        "seconds": round(entry.get("seconds", 0.0), 6),
+                        "matches": entry.get("matches", 0),
+                        "instances": entry.get("instances", 0),
+                    }
+                    for name, entry in s.per_axiom.items()
+                },
+                "phase_seconds": {
+                    k: round(v, 6) for k, v in s.phase_seconds.items()
+                },
             }
         return {
             "label": self.label,
@@ -101,16 +125,49 @@ def aggregate_stats(collected: List["StageStats"]) -> dict:
     """
     timings: Dict[str, float] = {}
     cache: Dict[str, int] = {}
+    saturation: Dict[str, int] = {
+        "sessions": 0,
+        "incremental_sessions": 0,
+        "rounds": 0,
+        "quiescent": 0,
+        "instances_asserted": 0,
+        "matches_attempted": 0,
+        "matches_found": 0,
+        "matches_pruned": 0,
+    }
+    budget_hits: Dict[str, int] = {}
     for stats in collected:
         for stage, seconds in stats.timings.items():
             timings[stage] = timings.get(stage, 0.0) + seconds
         for key, value in stats.cache.items():
             cache[key] = cache.get(key, 0) + value
+        sat = stats.saturation
+        if sat is not None:
+            saturation["sessions"] += 1
+            saturation["incremental_sessions"] += 1 if sat.incremental else 0
+            saturation["rounds"] += sat.rounds
+            saturation["quiescent"] += 1 if sat.quiescent else 0
+            saturation["instances_asserted"] += sat.instances_asserted
+            saturation["matches_attempted"] += sat.matches_attempted
+            saturation["matches_found"] += sat.matches_found
+            saturation["matches_pruned"] += sat.matches_pruned
+            hits = sat.budget_hits
+            max_matches = hits.get("max_matches")
+            if max_matches:
+                budget_hits["max_matches"] = budget_hits.get(
+                    "max_matches", 0
+                ) + sum(max_matches.values())
+            if "max_enodes_round" in hits:
+                budget_hits["max_enodes"] = budget_hits.get("max_enodes", 0) + 1
+            if "max_rounds" in hits:
+                budget_hits["max_rounds"] = budget_hits.get("max_rounds", 0) + 1
+    saturation["budget_hits"] = budget_hits
     return {
         "sessions": len(collected),
         "probes": sum(len(s.probes) for s in collected),
         "timings": {k: round(v, 6) for k, v in timings.items()},
         "cache": cache,
+        "saturation": saturation,
     }
 
 
@@ -139,6 +196,29 @@ def _notify(stats: StageStats) -> None:
         observers = list(_observers)
     for fn in observers:
         fn(stats)
+
+
+@dataclass
+class SaturationHandle:
+    """The saturation stage's product: a working graph plus its frozen source.
+
+    ``egraph`` is the session's private, mutable graph (the pipeline
+    injects ldiq constants and latency-override terms into it);
+    ``goal_ids`` are the goal classes inside it.  ``snapshot`` is the
+    pristine saturated master the working graph was restored from — the
+    same handle the saturation LRU holds, so callers can re-seed further
+    sessions without re-saturating; it is ``None`` when the saturation
+    cache is disabled (nothing froze the graph).
+    """
+
+    egraph: EGraph
+    goal_ids: List[int]
+    stats: SaturationStats
+    snapshot: Optional[EGraphSnapshot] = None
+
+    def __iter__(self):
+        # Unpacks like the historical (eg, goal_ids) pair.
+        return iter((self.egraph, self.goal_ids))
 
 
 class _StageTimer:
@@ -182,8 +262,15 @@ class CompilationSession:
 
     # -- stage 1: saturation -------------------------------------------------
 
-    def saturate(self):
-        """Build (or fetch) the saturated E-graph; returns (eg, goal_ids)."""
+    def saturate(self) -> SaturationHandle:
+        """Build (or fetch) the saturated E-graph.
+
+        Returns a :class:`SaturationHandle` — unpackable as the historical
+        ``(eg, goal_ids)`` pair — whose ``snapshot`` field is the pristine
+        saturated master held by the cross-compilation LRU: on a hit the
+        working graph is restored from it without re-running the matcher,
+        on a miss the freshly saturated graph is frozen into it.
+        """
         cfg = self.config
         goals = self.gma.goal_terms()
         with _StageTimer(self.stats, "saturation"):
@@ -192,22 +279,27 @@ class CompilationSession:
                 key = _cache.saturation_key(
                     goals, self.axioms, self.registry, cfg.saturation
                 )
-                hit = _cache.global_saturation_cache().lookup(key)
+                hit = _cache.global_saturation_cache().lookup_snapshot(key)
                 if hit is not None:
                     self.stats.cache["saturation_hits"] += 1
-                    eg, sat_stats = hit
+                    snapshot, sat_stats = hit
+                    eg = snapshot.restore()
                     self.stats.saturation = sat_stats
                     goal_ids = [eg.find(eg.add_term(t)) for t in goals]
-                    return eg, goal_ids
+                    return SaturationHandle(eg, goal_ids, sat_stats, snapshot)
                 self.stats.cache["saturation_misses"] += 1
             eg = EGraph()
             goal_ids = [eg.add_term(t) for t in goals]
             sat_stats = saturate(eg, self.axioms, self.registry, cfg.saturation)
             goal_ids = [eg.find(g) for g in goal_ids]
             self.stats.saturation = sat_stats
+            snapshot = None
             if key is not None:
-                _cache.global_saturation_cache().store(key, eg, sat_stats)
-        return eg, goal_ids
+                snapshot = eg.snapshot()
+                _cache.global_saturation_cache().store_snapshot(
+                    key, snapshot, sat_stats
+                )
+        return SaturationHandle(eg, goal_ids, sat_stats, snapshot)
 
     # -- stages 2-4: probe = encode + sat + extract ---------------------------
 

@@ -9,15 +9,22 @@ delete untenable literals from clauses.
 """
 
 from repro.egraph.unionfind import UnionFind
-from repro.egraph.egraph import EGraph, ENode, InconsistentError
-from repro.egraph.analysis import count_ways, extract_best, min_depth
+from repro.egraph.egraph import EGraph, EGraphSnapshot, ENode, InconsistentError
+from repro.egraph.analysis import (
+    count_ways,
+    extract_best,
+    min_depth,
+    partition_signature,
+)
 
 __all__ = [
     "UnionFind",
     "EGraph",
+    "EGraphSnapshot",
     "ENode",
     "InconsistentError",
     "count_ways",
     "extract_best",
     "min_depth",
+    "partition_signature",
 ]

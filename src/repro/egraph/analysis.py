@@ -120,6 +120,54 @@ def min_depth(
     return depth(cid, frozenset())
 
 
+def partition_signature(eg: EGraph) -> Tuple:
+    """A canonical fingerprint of the E-graph's class partition.
+
+    Two E-graphs built from the same terms have equal signatures exactly
+    when their equivalence partitions agree, regardless of the order in
+    which classes were created or merged.  The signature is computed by
+    Weisfeiler-Lehman-style refinement: every class starts with the same
+    label, then rounds of relabelling distinguish classes by the multiset
+    of their enodes' shapes and argument labels, until the number of
+    distinct labels stops growing.  Labels are assigned by sorted rank —
+    no use of Python ``hash()`` — so the result is deterministic across
+    processes and suitable for cross-mode differential checks (the
+    ``matching`` fuzz oracle compares incremental vs naive saturation
+    with it).
+
+    Returns a sorted tuple of ``(label, class_size)`` pairs, where
+    ``class_size`` is the class's enode count.
+    """
+    index = eg.class_index()
+    labels: Dict[int, int] = {root: 0 for root in index}
+
+    def shape(node: ENode) -> Tuple:
+        value = -1 if node.value is None else node.value
+        return (node.op, value, node.name or "", len(node.args))
+
+    distinct = 1
+    while True:
+        sigs: Dict[int, Tuple] = {}
+        for root, nodes in index.items():
+            rows = sorted(
+                (
+                    shape(node),
+                    tuple(labels[eg.find(arg)] for arg in node.args),
+                )
+                for node in nodes
+            )
+            sigs[root] = (labels[root], tuple(rows))
+        ranking = {sig: rank for rank, sig in enumerate(sorted(set(sigs.values())))}
+        labels = {root: ranking[sig] for root, sig in sigs.items()}
+        if len(ranking) <= distinct:
+            break
+        distinct = len(ranking)
+
+    return tuple(
+        sorted((label, len(index[root])) for root, label in labels.items())
+    )
+
+
 def extract_best(
     eg: EGraph,
     cid: int,

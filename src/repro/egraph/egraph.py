@@ -12,11 +12,22 @@ egg): :meth:`merge` only unions the classes and marks the graph dirty;
 congruence closure runs in :meth:`rebuild`, which re-canonicalises the
 hashcons to a fixpoint.  All read operations rebuild lazily, so clients
 never observe a non-congruent graph.
+
+Incremental-matching support (Simplify's mod-time idea, section 5 of the
+paper's substrate): every structural change bumps :attr:`version` and
+stamps the touched class in a per-class mod-time table, so
+:meth:`changed_since` / :meth:`dirty_cone` let the matcher visit only the
+classes that could possibly yield a new match since a previous round.  The
+graph also keeps per-op and per-class node indexes (re-derived during
+:meth:`rebuild`, appended to on :meth:`add_enode`), which turn the
+matcher's class walks from full-hashcons scans into direct lookups.
+:meth:`snapshot` captures a rebuilt image that can be re-materialised with
+one flat-dict copy per structure — no per-class object reconstruction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_left
 from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from repro.egraph.unionfind import UnionFind
@@ -49,16 +60,6 @@ class ENode(NamedTuple):
         return "(%s %s)" % (self.op, " ".join("c%d" % a for a in self.args))
 
 
-@dataclass
-class _ClassData:
-    """Bookkeeping attached to each equivalence-class root."""
-
-    sort: Sort = Sort.INT
-    const_value: Optional[int] = None
-    # Roots this class is constrained to differ from (distinctions).
-    distinct_from: Set[int] = field(default_factory=set)
-
-
 class EGraph:
     """The E-graph proper.
 
@@ -73,12 +74,37 @@ class EGraph:
 
     def __init__(self) -> None:
         self._uf = UnionFind()
-        self._classes: Dict[int, _ClassData] = {}
+        # Per-class data lives in parallel flat dicts keyed by root so that
+        # copy/snapshot are plain dict copies.  _consts and _distinct are
+        # sparse: absent key == no constant / no distinctions.
+        self._sorts: Dict[int, Sort] = {}
+        self._consts: Dict[int, int] = {}
+        self._distinct: Dict[int, Set[int]] = {}
         self._hashcons: Dict[ENode, int] = {}
         self._node_term: Dict[ENode, Term] = {}
         self._term_class: Dict[Term, int] = {}
         self._dirty = False
-        self.version = 0  # bumped on every structural change; used by matcher
+        # Ids that lost a union (find(id) != id).  A node's canonical form
+        # can only differ from the stored one if an argument id is dead,
+        # so rebuild's closure pass uses this set to copy untouched nodes
+        # through without re-deriving their canonical form.
+        self._dead: Set[int] = set()
+        self.version = 0  # bumped on every structural change
+        self.merges = 0  # successful unions (incl. congruence closure)
+        # Mod-time journal: (version, class id) per structural change, in
+        # version order, so "what changed since stamp S" is a bisect plus
+        # a suffix scan — O(changes since S), not O(classes).
+        self._touch_log: List[Tuple[int, int]] = []
+        # child root -> class ids containing a node with that argument;
+        # None until first needed (restored copies rebuild it lazily).
+        self._parents: Optional[Dict[int, Set[int]]] = None
+        # Derived indexes over the settled hashcons, kept in hashcons
+        # insertion order: op -> [(node, root)], root -> [node].  Appended
+        # to by add_enode, re-derived wholesale when rebuild does work;
+        # None = derive on next read (fresh copies start that way so a
+        # copy is flat dict clones only).
+        self._op_index: Optional[Dict[str, List[Tuple[ENode, int]]]] = {}
+        self._class_index: Optional[Dict[int, List[ENode]]] = {}
 
     def copy(self) -> "EGraph":
         """An independent graph with the same classes, nodes and facts.
@@ -90,20 +116,26 @@ class EGraph:
         """
         out = EGraph.__new__(EGraph)
         out._uf = self._uf.copy()
-        out._classes = {
-            cid: _ClassData(
-                sort=data.sort,
-                const_value=data.const_value,
-                distinct_from=set(data.distinct_from),
-            )
-            for cid, data in self._classes.items()
-        }
+        out._sorts = dict(self._sorts)
+        out._consts = dict(self._consts)
+        out._distinct = {cid: set(s) for cid, s in self._distinct.items()}
         out._hashcons = dict(self._hashcons)
         out._node_term = dict(self._node_term)
         out._term_class = dict(self._term_class)
         out._dirty = self._dirty
+        out._dead = set(self._dead)
         out.version = self.version
+        out.merges = self.merges
+        out._touch_log = list(self._touch_log)
+        out._parents = None
+        out._op_index = None
+        out._class_index = None
         return out
+
+    def snapshot(self) -> "EGraphSnapshot":
+        """An immutable image of the rebuilt graph, cheap to re-materialise."""
+        self.rebuild()
+        return EGraphSnapshot(self)
 
     # -- introspection ------------------------------------------------------
 
@@ -113,22 +145,21 @@ class EGraph:
     def classes(self) -> Iterator[int]:
         """All equivalence-class roots."""
         self.rebuild()
-        seen: Set[int] = set()
-        for cid in self._classes:
-            root = self._uf.find(cid)
-            if root not in seen:
-                seen.add(root)
-                yield root
+        return iter(list(self._sorts))
 
     def enodes(self, cid: int) -> List[ENode]:
         """The canonicalised nodes of ``cid``'s class."""
         self.rebuild()
-        root = self._uf.find(cid)
-        return [
-            node
-            for node, c in self._hashcons.items()
-            if self._uf.find(c) == root
-        ]
+        return list(self._class_index.get(self._uf.find(cid), ()))
+
+    def class_index(self) -> Dict[int, List[ENode]]:
+        """Read-only view: class root -> canonical nodes.
+
+        The dict and its lists are the graph's own index — callers must
+        not mutate them, and must not hold the view across mutations.
+        """
+        self.rebuild()
+        return self._class_index
 
     def all_nodes(self) -> Iterator[Tuple[ENode, int]]:
         """All (canonical enode, class root) pairs."""
@@ -137,33 +168,60 @@ class EGraph:
             yield node, self._uf.find(cid)
 
     def nodes_with_op(self, op: str) -> List[Tuple[ENode, int]]:
-        """All (canonical enode, class root) pairs whose operator is ``op``."""
+        """All (canonical enode, class root) pairs whose operator is ``op``.
+
+        The stored class ids are roots: the index is re-derived after any
+        union (unions mark the graph dirty), so between rebuilds no entry
+        can go stale.
+        """
         self.rebuild()
-        return [
-            (node, self._uf.find(cid))
-            for node, cid in self._hashcons.items()
-            if node.op == op
-        ]
+        return list(self._op_index.get(op, ()))
+
+    def op_count(self, op: str) -> int:
+        """How many enodes apply ``op`` (the size of its trigger bucket)."""
+        self.rebuild()
+        return len(self._op_index.get(op, ()))
 
     def class_sort(self, cid: int) -> Sort:
-        return self._data(cid).sort
+        return self._sorts[self._uf.find(cid)]
 
     def const_of(self, cid: int) -> Optional[int]:
         """The constant value of the class, if it contains a constant node."""
-        return self._data(cid).const_value
+        return self._consts.get(self._uf.find(cid))
 
     def witness(self, node: ENode) -> Optional[Term]:
         """A term that was interned as this enode, if any (for display)."""
         return self._node_term.get(node)
 
     def num_classes(self) -> int:
-        return sum(1 for _ in self.classes())
+        self.rebuild()
+        return len(self._sorts)
 
     def num_enodes(self) -> int:
         self.rebuild()
         return len(self._hashcons)
 
+    def enodes_at_least(self, bound: int) -> bool:
+        """Exact ``num_enodes() >= bound``, cheap in the common case.
+
+        Between rebuilds the hashcons may hold stale duplicates but never
+        misses a node — re-canonicalisation only removes entries — so its
+        raw size is an upper bound on the canonical count.  When that
+        bound is already below ``bound`` the answer is settled without
+        paying for congruence closure; saturation's per-instance budget
+        check lives on this fast path until the graph nears the budget.
+        """
+        if len(self._hashcons) < bound:
+            return False
+        self.rebuild()
+        return len(self._hashcons) >= bound
+
     def are_equal(self, a: int, b: int) -> bool:
+        # Unions are never undone, so an already-equal answer cannot be
+        # changed by congruence closure; only a "not equal yet" needs the
+        # deferred closure run before it is trustworthy.
+        if self._uf.same(a, b):
+            return True
         self.rebuild()
         return self._uf.same(a, b)
 
@@ -171,6 +229,75 @@ class EGraph:
         """True if ``a`` and ``b`` are constrained to be unequal."""
         self.rebuild()
         return self._distinct_now(a, b)
+
+    # -- incremental matching support ---------------------------------------
+
+    def changed_since(self, stamp: int) -> Set[int]:
+        """Roots of classes directly changed after ``version == stamp``.
+
+        Classes merged away since then are reported through their
+        surviving root (``find`` maps dead ids forward).
+        """
+        self.rebuild()
+        find = self._uf.find
+        log = self._touch_log
+        start = bisect_left(log, (stamp + 1, -1))
+        return {find(cid) for _version, cid in log[start:]}
+
+    def dirty_cone(self, stamp: int) -> Set[int]:
+        """Classes whose match sets may have changed since ``stamp``.
+
+        The directly-changed roots plus their ancestor closure: a match
+        rooted at class C can only change if C or some class reachable
+        from C through argument edges changed, so C is in the cone of the
+        change.  Computed once per saturation round, not per touch.
+        """
+        find = self._uf.find
+        cone = self.changed_since(stamp)
+        parents = self._ensure_parents()
+        work = list(cone)
+        while work:
+            cid = work.pop()
+            for parent in parents.get(cid, ()):
+                root = find(parent)
+                if root not in cone:
+                    cone.add(root)
+                    work.append(root)
+        return cone
+
+    def extend_cone(self, cone: Set[int], stamp: int) -> Set[int]:
+        """Grow ``cone`` in place to cover changes after ``version == stamp``.
+
+        Given a cone that was complete as of ``stamp``, adds the roots
+        touched since plus their ancestor closure, and returns the classes
+        whose contents may differ from what the caller last saw: the
+        touched roots (even if already in the cone — a merge can change a
+        member's node set) plus every class the closure newly added.
+        Merged-away ids are left behind as harmless dead entries.  This
+        makes mid-round cone refreshes O(changes since the last refresh),
+        not O(cone).
+        """
+        self.rebuild()
+        find = self._uf.find
+        log = self._touch_log
+        start = bisect_left(log, (stamp + 1, -1))
+        fresh = {find(cid) for _version, cid in log[start:]}
+        if not fresh:
+            return fresh
+        parents = self._ensure_parents()
+        cone.update(fresh)
+        # BFS from every touched root, even ones already in the cone: a
+        # merge can graft new parent edges onto an old cone member.
+        work = list(fresh)
+        while work:
+            cid = work.pop()
+            for parent in parents.get(cid, ()):
+                root = find(parent)
+                if root not in cone:
+                    cone.add(root)
+                    fresh.add(root)
+                    work.append(root)
+        return fresh
 
     # -- construction ------------------------------------------------------
 
@@ -202,12 +329,20 @@ class EGraph:
         if existing is not None:
             return self._uf.find(existing)
         cid = self._uf.make_set()
-        data = _ClassData(sort=sort)
+        self._sorts[cid] = sort
         if op == "const":
-            data.const_value = value
-        self._classes[cid] = data
+            self._consts[cid] = value
         self._hashcons[node] = cid
+        if self._op_index is not None:
+            self._op_index.setdefault(op, []).append((node, cid))
+        if self._class_index is not None:
+            self._class_index.setdefault(cid, []).append(node)
+        if self._parents is not None:
+            find = self._uf.find
+            for arg in set(node.args):
+                self._parents.setdefault(find(arg), set()).add(cid)
         self.version += 1
+        self._touch_log.append((self.version, cid))
         return cid
 
     # -- assertions ----------------------------------------------------------
@@ -225,22 +360,51 @@ class EGraph:
             raise InconsistentError(
                 "distinction asserted between already-equal classes"
             )
-        self._data(ra).distinct_from.add(rb)
-        self._data(rb).distinct_from.add(ra)
+        self._distinct.setdefault(ra, set()).add(rb)
+        self._distinct.setdefault(rb, set()).add(ra)
         self.version += 1
+        self._touch_log.append((self.version, ra))
+        self._touch_log.append((self.version, rb))
 
     # -- congruence closure --------------------------------------------------
 
     def rebuild(self) -> None:
-        """Re-canonicalise the hashcons until congruence closure is reached."""
+        """Re-canonicalise the hashcons until congruence closure is reached.
+
+        The node indexes are built during the final (clean) pass rather
+        than in a separate scan: a pass that discovers no congruent twins
+        performs no unions, so the roots recorded while it runs are final.
+        """
+        if not self._dirty:
+            if self._op_index is None:
+                self._derive_indexes()
+            return
         while self._dirty:
             self._dirty = False
+            find = self._uf.find
+            dead = self._dead
+            node_term = self._node_term
             fresh: Dict[ENode, int] = {}
+            op_index: Dict[str, List[Tuple[ENode, int]]] = {}
+            class_index: Dict[int, List[ENode]] = {}
             for node, cid in self._hashcons.items():
-                canon = self._canon(node)
-                cid = self._uf.find(cid)
-                if canon != node and node in self._node_term:
-                    self._node_term.setdefault(canon, self._node_term[node])
+                # A canonical form can only have changed if an argument id
+                # lost a union since the node was stored; the common case
+                # (no dead args) copies the node through untouched.
+                args = node.args
+                if args and not dead.isdisjoint(args):
+                    canon_args = tuple(map(find, args))
+                    if canon_args == args:
+                        canon = node
+                    else:
+                        canon = ENode(node.op, canon_args, node.value,
+                                      node.name)
+                        if node in node_term:
+                            node_term.setdefault(canon, node_term[node])
+                else:
+                    canon = node
+                if cid in dead:
+                    cid = find(cid)
                 dup = fresh.get(canon)
                 if dup is not None:
                     if dup != cid:
@@ -248,27 +412,52 @@ class EGraph:
                         self._union(dup, cid)
                 else:
                     fresh[canon] = cid
+                    op_index.setdefault(canon.op, []).append((canon, cid))
+                    class_index.setdefault(cid, []).append(canon)
             self._hashcons = fresh
+            if not self._dirty:
+                self._op_index = op_index
+                self._class_index = class_index
+
+    def _derive_indexes(self) -> None:
+        """Rebuild the op and class indexes from the settled hashcons in
+        one pass, preserving insertion order."""
+        find = self._uf.find
+        op_index: Dict[str, List[Tuple[ENode, int]]] = {}
+        class_index: Dict[int, List[ENode]] = {}
+        for node, cid in self._hashcons.items():
+            root = find(cid)
+            op_index.setdefault(node.op, []).append((node, root))
+            class_index.setdefault(root, []).append(node)
+        self._op_index = op_index
+        self._class_index = class_index
 
     # -- helpers -------------------------------------------------------------
 
-    def _data(self, cid: int) -> _ClassData:
-        return self._classes[self._uf.find(cid)]
+    def _ensure_parents(self) -> Dict[int, Set[int]]:
+        if self._parents is None:
+            find = self._uf.find
+            parents: Dict[int, Set[int]] = {}
+            for node, cid in self._hashcons.items():
+                for arg in set(node.args):
+                    parents.setdefault(find(arg), set()).add(cid)
+            self._parents = parents
+        return self._parents
 
     def _distinct_now(self, a: int, b: int) -> bool:
-        ra, rb = self._uf.find(a), self._uf.find(b)
+        find = self._uf.find
+        ra, rb = find(a), find(b)
         if ra == rb:
             return False
-        da, db = self._classes[ra], self._classes[rb]
-        if any(self._uf.find(x) == rb for x in da.distinct_from):
+        da = self._distinct.get(ra)
+        if da and any(find(x) == rb for x in da):
             return True
-        if any(self._uf.find(x) == ra for x in db.distinct_from):
+        db = self._distinct.get(rb)
+        if db and any(find(x) == ra for x in db):
             return True
-        return (
-            da.const_value is not None
-            and db.const_value is not None
-            and da.const_value != db.const_value
-        )
+        ca = self._consts.get(ra)
+        cb = self._consts.get(rb)
+        return ca is not None and cb is not None and ca != cb
 
     def _union(self, a: int, b: int) -> int:
         ra, rb = self._uf.find(a), self._uf.find(b)
@@ -278,25 +467,60 @@ class EGraph:
             raise InconsistentError(
                 "merge of classes c%d and c%d violates a distinction" % (ra, rb)
             )
-        da, db = self._classes[ra], self._classes[rb]
-        if da.sort != db.sort:
+        if self._sorts[ra] != self._sorts[rb]:
             raise InconsistentError(
                 "merge of classes with different sorts (%s vs %s)"
-                % (da.sort.value, db.sort.value)
+                % (self._sorts[ra].value, self._sorts[rb].value)
             )
         new_root = self._uf.union(ra, rb)
         old_root = rb if new_root == ra else ra
-        keep, drop = self._classes[new_root], self._classes[old_root]
-        if drop.const_value is not None:
-            keep.const_value = drop.const_value
-        keep.distinct_from |= drop.distinct_from
-        del self._classes[old_root]
+        self._dead.add(old_root)
+        dropped_const = self._consts.pop(old_root, None)
+        if dropped_const is not None:
+            self._consts[new_root] = dropped_const
+        dropped_distinct = self._distinct.pop(old_root, None)
+        if dropped_distinct:
+            self._distinct.setdefault(new_root, set()).update(dropped_distinct)
+        del self._sorts[old_root]
+        # The node indexes go stale here; _union marks the graph dirty, so
+        # the next read re-derives them from the rebuilt hashcons.
+        if self._parents is not None:
+            dropped_parents = self._parents.pop(old_root, None)
+            if dropped_parents:
+                self._parents.setdefault(new_root, set()).update(dropped_parents)
         self._dirty = True
         self.version += 1
+        self.merges += 1
+        self._touch_log.append((self.version, new_root))
         return new_root
 
     def _canon(self, node: ENode) -> ENode:
-        args = tuple(self._uf.find(a) for a in node.args)
+        args = tuple(map(self._uf.find, node.args))
         if args == node.args:
             return node
         return ENode(node.op, args, node.value, node.name)
+
+
+class EGraphSnapshot:
+    """An immutable, rebuilt image of an :class:`EGraph`.
+
+    Snapshots decouple the saturation cache from working graphs: the
+    pipeline saturates once, snapshots the result, and every later
+    compilation :meth:`restore`\\ s an independent working graph with one
+    flat copy per structure instead of re-running saturation or deep
+    per-class reconstruction.  The wrapped master is private and never
+    mutated after construction.
+    """
+
+    __slots__ = ("_master", "version", "enode_count", "class_count")
+
+    def __init__(self, source: EGraph) -> None:
+        source.rebuild()
+        self._master = source.copy()
+        self.version = source.version
+        self.enode_count = source.num_enodes()
+        self.class_count = source.num_classes()
+
+    def restore(self) -> EGraph:
+        """A fresh, independently mutable graph equal to the snapshot."""
+        return self._master.copy()

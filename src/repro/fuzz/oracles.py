@@ -11,6 +11,12 @@ the system, and every pair must agree:
   the same optimal cycle count (PR 3's canonical-model guarantee);
 * **strategies** — binary, linear and portfolio probe scheduling must
   agree on the optimum and the emitted bytes;
+* **matching** — incremental (dirty-cone) and naive (full-rescan)
+  saturation must reach the same fixpoint: identical class partition
+  (:func:`~repro.egraph.analysis.partition_signature`), identical enode
+  count, and byte-identical assembly.  Cases where either path tripped a
+  saturation budget are skipped — a truncated match scan may legitimately
+  stop at a different frontier;
 * **bruteforce** — on small register-only goals, a Massalin-style
   exhaustive search (:mod:`repro.baselines.bruteforce`) must find a
   program whose outputs match both the evaluator and the compiled
@@ -52,10 +58,17 @@ class OracleError(Exception):
 ORACLE_ASM = "asm-vs-eval"
 ORACLE_SOLVER = "solver-paths"
 ORACLE_STRATEGY = "strategies"
+ORACLE_MATCHING = "matching"
 ORACLE_BRUTE = "bruteforce"
 ORACLE_CRASH = "crash"
 
-ALL_ORACLES = (ORACLE_ASM, ORACLE_SOLVER, ORACLE_STRATEGY, ORACLE_BRUTE)
+ALL_ORACLES = (
+    ORACLE_ASM,
+    ORACLE_SOLVER,
+    ORACLE_STRATEGY,
+    ORACLE_MATCHING,
+    ORACLE_BRUTE,
+)
 
 
 @dataclass
@@ -143,6 +156,7 @@ def _make_config(
     options: OracleOptions,
     strategy: SearchStrategy,
     incremental: bool,
+    incremental_match: bool = True,
 ) -> DenaliConfig:
     return DenaliConfig(
         min_cycles=1,
@@ -151,7 +165,9 @@ def _make_config(
         verify=False,  # the oracle layer runs its own checks
         enable_incremental_solver=incremental,
         saturation=SaturationConfig(
-            max_rounds=options.max_rounds, max_enodes=options.max_enodes
+            max_rounds=options.max_rounds,
+            max_enodes=options.max_enodes,
+            incremental_match=incremental_match,
         ),
     )
 
@@ -163,13 +179,14 @@ def _compile_path(
     options: OracleOptions,
     strategy: SearchStrategy = SearchStrategy.BINARY,
     incremental: bool = True,
+    incremental_match: bool = True,
     label: str = "",
 ) -> CompilationResult:
     den = Denali(
         ev6(),
         axioms=axioms,
         registry=registry,
-        config=_make_config(options, strategy, incremental),
+        config=_make_config(options, strategy, incremental, incremental_match),
     )
     return den.compile_gma(gma, label=label)
 
@@ -189,6 +206,45 @@ def _describe_mismatch(base: CompilationResult, other: CompilationResult,
     return "%s: same cycles (%s) but assembly differs:\n--- base\n%s\n--- %s\n%s" % (
         what, b[0], b[1], what, o[1]
     )
+
+
+# -- the matching oracle -------------------------------------------------------
+
+
+def _check_matching(
+    report: CaseReport,
+    base: CompilationResult,
+    naive: CompilationResult,
+    label: str,
+    seed: Optional[int],
+    source: str,
+) -> None:
+    """Incremental and naive saturation must reach the same fixpoint."""
+    from repro.egraph.analysis import partition_signature
+
+    if base.egraph.num_enodes() != naive.egraph.num_enodes():
+        report.divergences.append(Divergence(
+            oracle=ORACLE_MATCHING, label=label, seed=seed, source=source,
+            detail="incremental vs naive saturation: enode counts differ "
+                   "(%d vs %d)"
+                   % (base.egraph.num_enodes(), naive.egraph.num_enodes()),
+        ))
+        return
+    if partition_signature(base.egraph) != partition_signature(naive.egraph):
+        report.divergences.append(Divergence(
+            oracle=ORACLE_MATCHING, label=label, seed=seed, source=source,
+            detail="incremental vs naive saturation: class partitions "
+                   "differ (%d vs %d classes)"
+                   % (base.egraph.num_classes(), naive.egraph.num_classes()),
+        ))
+        return
+    if _outcome_fingerprint(base) != _outcome_fingerprint(naive):
+        report.divergences.append(Divergence(
+            oracle=ORACLE_MATCHING, label=label, seed=seed, source=source,
+            detail=_describe_mismatch(
+                base, naive, "incremental vs naive matching"
+            ),
+        ))
 
 
 # -- the brute-force oracle ----------------------------------------------------
@@ -428,6 +484,31 @@ def _check_case_inner(
                             base, other, "binary vs %s" % strategy.value
                         ),
                     ))
+
+        if options.wants(ORACLE_MATCHING):
+            try:
+                naive = _compile_path(
+                    gma, registry, axioms, options,
+                    incremental_match=False, label=label,
+                )
+            except Exception as exc:
+                report.divergences.append(Divergence(
+                    oracle=ORACLE_MATCHING, label=label, seed=seed,
+                    source=source,
+                    detail="naive-matching path crashed: %s: %s"
+                           % (type(exc).__name__, exc),
+                ))
+            else:
+                # A tripped budget truncates the match scan at a
+                # mode-dependent frontier, so the fixpoints may
+                # legitimately differ; only budget-free runs must agree.
+                budget_free = (
+                    not base.saturation.budget_hits
+                    and not naive.saturation.budget_hits
+                )
+                if budget_free:
+                    report.count(ORACLE_MATCHING)
+                    _check_matching(report, base, naive, label, seed, source)
 
         if options.wants(ORACLE_BRUTE):
             try:

@@ -7,7 +7,14 @@ run out — the paper's "heuristics that are designed to keep the matcher
 from running forever".
 """
 
-from repro.matching.matcher import ematch, ematch_all, instantiate
+from repro.matching.compile import CompiledTrigger, compile_trigger, run_compiled
+from repro.matching.matcher import (
+    MatchScan,
+    ematch,
+    ematch_all,
+    ematch_since,
+    instantiate,
+)
 from repro.matching.saturation import (
     SaturationConfig,
     SaturationEngine,
@@ -16,8 +23,13 @@ from repro.matching.saturation import (
 )
 
 __all__ = [
+    "CompiledTrigger",
+    "compile_trigger",
+    "run_compiled",
+    "MatchScan",
     "ematch",
     "ematch_all",
+    "ematch_since",
     "instantiate",
     "SaturationConfig",
     "SaturationEngine",

@@ -1,0 +1,144 @@
+"""Trigger compilation: patterns become small register programs.
+
+Interpreting a pattern tree for every candidate node re-dispatches on the
+pattern's shape at match time.  Instead, each trigger is compiled once
+(memoised on the pattern, which is frozen and hashable) into a flat
+program over *slots* — registers holding canonical class ids:
+
+* the trigger's head is not an instruction at all: the scan seeds the head
+  argument slots straight from each candidate enode of the head operator's
+  bucket (top-symbol and arity indexing);
+* ``ENTER slot op arity arg_slots`` is a choice point: for every node of
+  the class in ``slot`` applying ``op`` at ``arity``, write the node's
+  argument classes into ``arg_slots`` and run the rest of the program;
+* ``CONST slot value`` passes iff the class in ``slot`` has that constant;
+* ``EQVAR slot other`` passes iff two slots hold the same class — the
+  non-linear-variable check.
+
+Instructions are emitted depth-first left-to-right, which reproduces the
+enumeration order of the interpretive walker this module replaced.
+Execution backtracks over ENTER choice points; a full pass over the
+program yields one substitution read out of the variable slots.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.axioms.axiom import Pattern
+from repro.egraph.egraph import EGraph, ENode
+
+Subst = Dict[str, int]
+
+ENTER = 0
+CONST = 1
+EQVAR = 2
+
+
+class CompiledTrigger(NamedTuple):
+    """One trigger pattern, compiled."""
+
+    op: str
+    arity: int
+    n_slots: int
+    head_slots: Tuple[int, ...]
+    prog: Tuple[Tuple, ...]
+    var_slots: Tuple[Tuple[str, int], ...]
+
+
+@lru_cache(maxsize=None)
+def compile_trigger(pattern: Pattern) -> CompiledTrigger:
+    """Compile ``pattern`` (an operator application) into a slot program."""
+    if pattern.is_var or pattern.is_const:
+        raise ValueError("trigger patterns must be operator applications")
+    n_slots = 0
+    var_map: Dict[str, int] = {}
+    prog: List[Tuple] = []
+
+    def alloc() -> int:
+        nonlocal n_slots
+        n_slots += 1
+        return n_slots - 1
+
+    def emit(pat: Pattern, slot: int) -> None:
+        if pat.is_var:
+            bound = var_map.get(pat.var)
+            if bound is None:
+                var_map[pat.var] = slot
+            else:
+                prog.append((EQVAR, slot, bound))
+        elif pat.is_const:
+            prog.append((CONST, slot, pat.value))
+        else:
+            arg_slots = tuple(alloc() for _ in pat.args)
+            prog.append((ENTER, slot, pat.op, len(pat.args), arg_slots))
+            for sub, sub_slot in zip(pat.args, arg_slots):
+                emit(sub, sub_slot)
+
+    head_slots = tuple(alloc() for _ in pattern.args)
+    for sub, sub_slot in zip(pattern.args, head_slots):
+        emit(sub, sub_slot)
+    return CompiledTrigger(
+        op=pattern.op,
+        arity=len(pattern.args),
+        n_slots=n_slots,
+        head_slots=head_slots,
+        prog=tuple(prog),
+        var_slots=tuple(sorted(var_map.items())),
+    )
+
+
+def run_compiled(
+    eg: EGraph,
+    trigger: CompiledTrigger,
+    seeds: Sequence[Tuple[ENode, int]],
+    limit: Optional[int] = None,
+) -> List[Subst]:
+    """All substitutions matching ``trigger`` rooted at the ``seeds`` nodes.
+
+    ``seeds`` are (enode, class root) candidates carrying the trigger's
+    head operator; nodes of a different arity are skipped.  Results are
+    materialised eagerly — callers may mutate the graph only after this
+    returns.  With ``limit``, at most that many substitutions are built.
+    """
+    eg.rebuild()
+    index = eg.class_index()
+    find = eg.find
+    const_of = eg.const_of
+    prog = trigger.prog
+    n_ins = len(prog)
+    var_slots = trigger.var_slots
+    head_slots = trigger.head_slots
+    arity = trigger.arity
+    slots = [0] * trigger.n_slots
+    out: List[Subst] = []
+
+    def execute(pc: int) -> bool:
+        """Run from ``pc``; True means the limit was hit — stop everything."""
+        if pc == n_ins:
+            out.append({name: slots[slot] for name, slot in var_slots})
+            return limit is not None and len(out) >= limit
+        ins = prog[pc]
+        tag = ins[0]
+        if tag == ENTER:
+            _, slot, op, ar, arg_slots = ins
+            for node in index.get(slots[slot], ()):
+                if node.op == op and len(node.args) == ar:
+                    for arg_slot, arg in zip(arg_slots, node.args):
+                        slots[arg_slot] = find(arg)
+                    if execute(pc + 1):
+                        return True
+            return False
+        if tag == CONST:
+            return const_of(slots[ins[1]]) == ins[2] and execute(pc + 1)
+        return slots[ins[1]] == slots[ins[2]] and execute(pc + 1)
+
+    for node, _root in seeds:
+        if len(node.args) != arity:
+            continue
+        for slot, arg in zip(head_slots, node.args):
+            slots[slot] = find(arg)
+        if execute(0):
+            break
+    return out

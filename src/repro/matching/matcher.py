@@ -6,19 +6,33 @@ what lets the paper's Figure 2 walkthrough match ``k * 2**n`` against
 matcher sees the node ``4``, but the E-matcher searches the whole
 equivalence class and finds ``2**2`` there.
 
-Substitutions map variable names to class ids.  :func:`instantiate` builds
-the instance of a pattern directly as enodes (no intermediate terms).
+Matching runs compiled trigger programs (:mod:`repro.matching.compile`)
+over the graph's per-op node index.  :func:`ematch_all` is the full
+trigger scan; :func:`ematch_since` is its incremental form, visiting only
+head nodes whose class lies in the dirty cone of changes after a version
+stamp — Simplify's mod-time optimisation.  Substitutions map variable
+names to class ids.  :func:`instantiate` builds the instance of a pattern
+directly as enodes (no intermediate terms).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, NamedTuple, Optional, Set
 
 from repro.axioms.axiom import Pattern
 from repro.egraph.egraph import EGraph, ENode
+from repro.matching.compile import CompiledTrigger, compile_trigger, run_compiled
 from repro.terms.ops import OperatorRegistry, Sort
 
 Subst = Dict[str, int]
+
+
+class MatchScan(NamedTuple):
+    """One incremental trigger scan: its matches and scan telemetry."""
+
+    substs: List[Subst]
+    scanned: int  # head candidates visited
+    pruned: int  # head candidates skipped by the stamp filter
 
 
 def ematch(
@@ -33,46 +47,34 @@ def ematch(
     matches can be exponential in the pattern size; callers should bound
     consumption.
     """
-    subst = subst if subst is not None else {}
-    yield from _match_class(eg, pattern, eg.find(cid), subst)
-
-
-def _match_class(
-    eg: EGraph, pattern: Pattern, root: int, subst: Subst
-) -> Iterator[Subst]:
+    base = subst if subst is not None else {}
+    root = eg.find(cid)
     if pattern.is_var:
-        bound = subst.get(pattern.var)
+        bound = base.get(pattern.var)
         if bound is not None:
             if eg.find(bound) == root:
-                yield subst
+                yield base
             return
-        new = dict(subst)
+        new = dict(base)
         new[pattern.var] = root
         yield new
         return
     if pattern.is_const:
         if eg.const_of(root) == pattern.value:
-            yield subst
+            yield base
         return
-    for node in eg.enodes(root):
-        if node.op == pattern.op and len(node.args) == len(pattern.args):
-            yield from _match_args(eg, pattern.args, node.args, 0, subst)
-
-
-def _match_args(
-    eg: EGraph,
-    patterns,
-    arg_classes,
-    index: int,
-    subst: Subst,
-) -> Iterator[Subst]:
-    if index == len(patterns):
-        yield subst
-        return
-    for s in _match_class(
-        eg, patterns[index], eg.find(arg_classes[index]), subst
-    ):
-        yield from _match_args(eg, patterns, arg_classes, index + 1, s)
+    trigger = compile_trigger(pattern)
+    seeds = [
+        (node, root) for node in eg.enodes(root) if node.op == trigger.op
+    ]
+    for result in run_compiled(eg, trigger, seeds):
+        if any(eg.find(base[v]) != result[v] for v in base if v in result):
+            continue
+        merged = dict(base)
+        for var, klass in result.items():
+            if var not in base:
+                merged[var] = klass
+        yield merged
 
 
 def ematch_all(
@@ -84,17 +86,34 @@ def ematch_all(
     only classes containing an application of the pattern's head operator
     can match, and the E-graph indexes those directly.
     """
-    results: List[Subst] = []
-    if pattern.is_var or pattern.is_const:
-        raise ValueError("trigger patterns must be operator applications")
-    for node, _root in eg.nodes_with_op(pattern.op):
-        if len(node.args) != len(pattern.args):
-            continue
-        for subst in _match_args(eg, pattern.args, node.args, 0, {}):
-            results.append(subst)
-            if limit is not None and len(results) >= limit:
-                return results
-    return results
+    trigger = compile_trigger(pattern)
+    return run_compiled(eg, trigger, eg.nodes_with_op(trigger.op), limit=limit)
+
+
+def ematch_since(
+    eg: EGraph,
+    pattern: Pattern,
+    stamp: int,
+    cone: Optional[Set[int]] = None,
+    limit: Optional[int] = None,
+) -> MatchScan:
+    """Match ``pattern`` against head nodes touched after ``version == stamp``.
+
+    A match rooted at class C is new only if C or a class reachable from
+    it through argument edges changed, i.e. C is in the dirty cone of the
+    changes — so only head candidates whose class is in the cone are
+    visited, in the same bucket order as the full scan.  Callers that
+    already computed the cone for this stamp can pass it in.
+    """
+    trigger = compile_trigger(pattern)
+    if cone is None:
+        cone = eg.dirty_cone(stamp)
+    bucket = eg.nodes_with_op(trigger.op)
+    seeds = [(node, root) for node, root in bucket if root in cone]
+    substs = run_compiled(eg, trigger, seeds, limit=limit)
+    return MatchScan(
+        substs=substs, scanned=len(seeds), pruned=len(bucket) - len(seeds)
+    )
 
 
 def instantiate(

@@ -15,15 +15,27 @@ Each round performs, in order:
    clauses; a clause reduced to one literal asserts it (section 5's
    select/store example).
 
+The engine runs as a **worklist fixpoint**: the first round scans the
+whole graph; every later round matches (and folds) only against the dirty
+cone of classes touched since the previous round began — Simplify's
+mod-time optimisation, which the E-graph supports through its touch
+journal (:meth:`EGraph.dirty_cone`).  The cone is refreshed whenever an
+assertion changes the graph mid-round, so the incremental scan discovers
+exactly the matches a full re-scan would, in the same bucket order; the
+full-scan path stays available (``SaturationConfig.incremental_match =
+False``) as a differential oracle.
+
 The engine stops when a round changes nothing (true quiescence) or when a
 budget is exhausted, in which case the result is marked non-quiescent —
 one of the two reasons the paper calls Denali's output "near-optimal"
-rather than "optimal".
+rather than "optimal".  Budget exhaustion is never silent: every budget
+that fired is recorded in :attr:`SaturationStats.budget_hits`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.axioms.axiom import (
@@ -34,7 +46,8 @@ from repro.axioms.axiom import (
     AxiomSet,
 )
 from repro.egraph.egraph import EGraph, InconsistentError
-from repro.matching.matcher import Subst, ematch_all, instantiate
+from repro.matching.compile import compile_trigger
+from repro.matching.matcher import Subst, ematch_all, ematch_since, instantiate
 from repro.terms.ops import OperatorRegistry, Sort, default_registry
 from repro.terms.values import Memory
 
@@ -55,6 +68,13 @@ class SaturationConfig:
     # is off unless the pipeline detects such a target.
     synthesize_mask_alternatives: bool = False
     max_pow2_exponent: int = 63
+    # Match only against the dirty cone after the first round.  The full
+    # re-scan path (False) is kept as a differential oracle.
+    incremental_match: bool = True
+
+
+def _zero_phases() -> Dict[str, float]:
+    return {"fold": 0.0, "synthesize": 0.0, "match": 0.0, "propagate": 0.0}
 
 
 @dataclass
@@ -70,6 +90,26 @@ class SaturationStats:
     quiescent: bool = False
     enodes: int = 0
     classes: int = 0
+    incremental: bool = True
+    matches_attempted: int = 0  # head candidates handed to the matcher
+    matches_found: int = 0  # substitutions produced
+    matches_pruned: int = 0  # head candidates skipped by the stamp filter
+    # Which budgets fired: "max_matches" -> {"axiom#trigger": hit count},
+    # "max_enodes_round" -> round that tripped it, "max_rounds" -> last round.
+    budget_hits: Dict[str, object] = field(default_factory=dict)
+    # axiom name -> {"seconds", "matches", "instances"}
+    per_axiom: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    phase_seconds: Dict[str, float] = field(default_factory=_zero_phases)
+
+    def copy(self) -> "SaturationStats":
+        out = replace(self)
+        out.budget_hits = {
+            key: dict(val) if isinstance(val, dict) else val
+            for key, val in self.budget_hits.items()
+        }
+        out.per_axiom = {name: dict(v) for name, v in self.per_axiom.items()}
+        out.phase_seconds = dict(self.phase_seconds)
+        return out
 
 
 _M64 = (1 << 64) - 1
@@ -125,37 +165,139 @@ class SaturationEngine:
         self._seen_instances: Set[Tuple] = set()
         self._clauses: List[_ActiveClause] = []
         self._seen_clauses: Set[Tuple] = set()
+        # Dedupe keys are re-canonicalised when the union-find has moved.
+        self._keys_merges = eg.merges
+        # Cached dirty cone for the current (graph version, stamp) pair.
+        self._cone: Set[int] = set()
+        self._cone_ops: Optional[Set[str]] = None
+        self._cone_epoch: Optional[Tuple[int, int]] = None
 
     # -- public ---------------------------------------------------------------
 
     def run(self) -> SaturationStats:
         """Saturate until quiescence or budget exhaustion."""
         cfg = self.config
+        eg = self.eg
+        stats = self.stats
+        stats.incremental = bool(cfg.incremental_match)
+        timer = time.perf_counter
+        # None = full scan (round one, or incremental matching disabled);
+        # otherwise the version stamp the round's dirty cone is relative to.
+        since: Optional[int] = None
         for round_index in range(cfg.max_rounds):
-            self.stats.rounds = round_index + 1
-            before = self.eg.version
+            stats.rounds = round_index + 1
+            before = eg.version
+            t0 = timer()
             if cfg.fold_constants:
-                self._fold_constants()
+                self._fold_constants(since)
+            t1 = timer()
             if cfg.synthesize_constants:
                 self._synthesize_constants()
             if cfg.synthesize_byte_masks:
                 self._synthesize_byte_masks()
-            budget_hit = self._instantiate_axioms()
+            t2 = timer()
+            self._recanonicalize_keys()
+            budget_hit = self._instantiate_axioms(since)
+            t3 = timer()
             self._propagate_clauses()
-            if self.eg.version == before and not budget_hit:
-                self.stats.quiescent = True
+            t4 = timer()
+            phases = stats.phase_seconds
+            phases["fold"] += t1 - t0
+            phases["synthesize"] += t2 - t1
+            phases["match"] += t3 - t2
+            phases["propagate"] += t4 - t3
+            if eg.version == before and not budget_hit:
+                stats.quiescent = True
                 break
-            if self.eg.num_enodes() >= cfg.max_enodes:
+            if eg.enodes_at_least(cfg.max_enodes):
+                stats.budget_hits.setdefault("max_enodes_round", stats.rounds)
                 break
-        self.stats.enodes = self.eg.num_enodes()
-        self.stats.classes = self.eg.num_classes()
-        return self.stats
+            since = before if cfg.incremental_match else None
+        if not stats.quiescent and "max_enodes_round" not in stats.budget_hits:
+            stats.budget_hits["max_rounds"] = stats.rounds
+        stats.enodes = self.eg.num_enodes()
+        stats.classes = self.eg.num_classes()
+        return stats
+
+    # -- dirty-cone bookkeeping ------------------------------------------------
+
+    _CONE_OPS_LIMIT = 256
+
+    def _refresh_cone(self, since: int) -> None:
+        """Bring the cached dirty cone up to the graph's current version.
+
+        Refreshes happen per trigger (assertions move the graph mid-round),
+        so they must be cheap: when the cached cone is for the same stamp,
+        it is *extended* from the touch-journal suffix instead of being
+        recomputed — O(changes since the last refresh), not O(cone).
+
+        ``_cone_ops`` is the per-op dirty set — the head operators present
+        in cone classes — used to skip whole trigger buckets in O(1); it
+        is only maintained while the cone is small enough for the upkeep
+        to be cheaper than the bucket scans it saves.
+        """
+        eg = self.eg
+        eg.rebuild()
+        epoch = (eg.version, since)
+        if self._cone_epoch == epoch:
+            return
+        if self._cone_epoch is not None and self._cone_epoch[1] == since:
+            fresh = eg.extend_cone(self._cone, self._cone_epoch[0])
+            if self._cone_ops is not None:
+                if len(self._cone) > self._CONE_OPS_LIMIT:
+                    self._cone_ops = None
+                else:
+                    index = eg.class_index()
+                    for root in fresh:
+                        for node in index.get(root, ()):
+                            self._cone_ops.add(node.op)
+        else:
+            cone = eg.dirty_cone(since)
+            ops: Optional[Set[str]] = None
+            if len(cone) <= self._CONE_OPS_LIMIT:
+                index = eg.class_index()
+                ops = set()
+                for root in cone:
+                    for node in index.get(root, ()):
+                        ops.add(node.op)
+            self._cone = cone
+            self._cone_ops = ops
+        self._cone_epoch = epoch
+
+    def _recanonicalize_keys(self) -> None:
+        """Re-key the dedupe sets after merges (stale keys re-assert work)."""
+        if self.eg.merges == self._keys_merges:
+            return
+        self.eg.rebuild()
+        find = self.eg.find
+        self._seen_instances = {
+            (name, tuple(sorted((var, find(cid)) for var, cid in bindings)))
+            for name, bindings in self._seen_instances
+        }
+        self._seen_clauses = {
+            tuple(
+                (kind, min(find(lo), find(hi)), max(find(lo), find(hi)))
+                for kind, lo, hi in key
+            )
+            for key in self._seen_clauses
+        }
+        self._keys_merges = self.eg.merges
 
     # -- constant reasoning -----------------------------------------------------
 
-    def _fold_constants(self) -> None:
+    def _fold_constants(self, since: Optional[int]) -> None:
         eg = self.eg
-        for node, root in list(eg.all_nodes()):
+        if self.config.incremental_match and since is not None:
+            self._refresh_cone(since)
+            cone = self._cone
+            if not cone:
+                return
+            # Filter through all_nodes to keep hashcons order: fold merges
+            # must happen in the same order as a full scan would do them.
+            nodes = [(n, r) for n, r in eg.all_nodes() if r in cone]
+        else:
+            nodes = list(eg.all_nodes())
+        for node, root in nodes:
             if node.op in ("const", "input"):
                 continue
             if eg.const_of(root) is not None:
@@ -255,21 +397,79 @@ class SaturationEngine:
 
     # -- axiom instantiation ------------------------------------------------
 
-    def _instantiate_axioms(self) -> bool:
-        """One pass over all axioms; returns True if a budget stopped it."""
+    def _instantiate_axioms(self, since: Optional[int]) -> bool:
+        """One pass over all axioms; returns True if a budget stopped it.
+
+        With ``since`` set (incremental mode past round one), each trigger
+        scans only head candidates inside the dirty cone — refreshed per
+        trigger, so matches enabled by assertions earlier in the same
+        round are found in the same round, exactly as a full scan would.
+        """
         cfg = self.config
+        eg = self.eg
+        stats = self.stats
+        incremental = cfg.incremental_match and since is not None
+        timer = time.perf_counter
         budget_hit = False
+        stop = False
         for axiom in self.axioms:
-            for trigger in axiom.triggers:
-                matches = ematch_all(
-                    self.eg, trigger, limit=cfg.max_matches_per_trigger
-                )
-                if len(matches) >= cfg.max_matches_per_trigger:
+            t0 = timer()
+            found_before = stats.matches_found
+            asserted_before = stats.instances_asserted + stats.clauses_recorded
+            for t_index, trigger in enumerate(axiom.triggers):
+                compiled = compile_trigger(trigger)
+                if incremental:
+                    self._refresh_cone(since)
+                    if (
+                        self._cone_ops is not None
+                        and compiled.op not in self._cone_ops
+                    ):
+                        stats.matches_pruned += eg.op_count(compiled.op)
+                        continue
+                    scan = ematch_since(
+                        eg,
+                        trigger,
+                        since,
+                        cone=self._cone,
+                        limit=cfg.max_matches_per_trigger,
+                    )
+                    substs = scan.substs
+                    stats.matches_attempted += scan.scanned
+                    stats.matches_pruned += scan.pruned
+                else:
+                    substs = ematch_all(
+                        eg, trigger, limit=cfg.max_matches_per_trigger
+                    )
+                    stats.matches_attempted += eg.op_count(compiled.op)
+                stats.matches_found += len(substs)
+                if len(substs) >= cfg.max_matches_per_trigger:
                     budget_hit = True
-                for subst in matches:
-                    if self.eg.num_enodes() >= cfg.max_enodes:
-                        return True
+                    hits = stats.budget_hits.setdefault("max_matches", {})
+                    label = "%s#%d" % (axiom.name, t_index)
+                    hits[label] = hits.get(label, 0) + 1
+                for subst in substs:
+                    if eg.enodes_at_least(cfg.max_enodes):
+                        stats.budget_hits.setdefault(
+                            "max_enodes_round", stats.rounds
+                        )
+                        budget_hit = True
+                        stop = True
+                        break
                     self._assert_instance(axiom, subst)
+                if stop:
+                    break
+            entry = stats.per_axiom.setdefault(
+                axiom.name, {"seconds": 0.0, "matches": 0, "instances": 0}
+            )
+            entry["seconds"] += timer() - t0
+            entry["matches"] += stats.matches_found - found_before
+            entry["instances"] += (
+                stats.instances_asserted
+                + stats.clauses_recorded
+                - asserted_before
+            )
+            if stop:
+                return True
         return budget_hit
 
     def _instance_key(self, axiom: Axiom, subst: Subst) -> Tuple:

@@ -66,6 +66,7 @@ class JobSpec:
     load_latency: int = 3
     miss_latency: int = 12
     incremental: bool = True  # persistent solver across the probe ladder
+    incremental_match: bool = True  # dirty-cone matching during saturation
     timeout_seconds: Optional[float] = None
     seconds: float = 0.0  # for kind == "sleep"
 
@@ -100,6 +101,7 @@ _SEMANTIC_FIELDS = (
     "load_latency",
     "miss_latency",
     "incremental",
+    "incremental_match",
     "seconds",
 )
 
@@ -175,7 +177,9 @@ def _compile(spec: JobSpec) -> Dict[str, Any]:
         miss_latency=spec.miss_latency,
         enable_incremental_solver=spec.incremental,
         saturation=SaturationConfig(
-            max_rounds=spec.max_rounds, max_enodes=spec.max_enodes
+            max_rounds=spec.max_rounds,
+            max_enodes=spec.max_enodes,
+            incremental_match=spec.incremental_match,
         ),
     )
     den = Denali(
@@ -312,6 +316,19 @@ class CompilationEngine:
         self._coalesced_total = 0
         self._latencies: List[float] = []
         self._worker_stages: Dict[int, Dict[str, float]] = {}
+        # Matcher counters summed over completed compile jobs (the
+        # "saturation" block of /v1/metrics, incl. budget truncations).
+        self._saturation_totals: Dict[str, int] = {
+            "sessions": 0,
+            "incremental_sessions": 0,
+            "rounds": 0,
+            "quiescent": 0,
+            "instances_asserted": 0,
+            "matches_attempted": 0,
+            "matches_found": 0,
+            "matches_pruned": 0,
+        }
+        self._saturation_budget_hits: Dict[str, int] = {}
         self._timers: List[threading.Timer] = []
         self._started_monotonic = time.monotonic()
         self._shutdown = False
@@ -477,6 +494,14 @@ class CompilationEngine:
             per_worker = self._worker_stages.setdefault(worker_id, {})
             for stage, seconds in stats["timings"].items():
                 per_worker[stage] = per_worker.get(stage, 0.0) + seconds
+        if stats and isinstance(stats.get("saturation"), dict):
+            sat = stats["saturation"]
+            for key in self._saturation_totals:
+                self._saturation_totals[key] += int(sat.get(key, 0) or 0)
+            for key, count in (sat.get("budget_hits") or {}).items():
+                self._saturation_budget_hits[key] = (
+                    self._saturation_budget_hits.get(key, 0) + int(count)
+                )
         if record.spec.kind == "compile" and payload.get("ok"):
             self.store.put(record.fingerprint, payload)
         self._inflight.pop(record.fingerprint, None)
@@ -588,6 +613,10 @@ class CompilationEngine:
                 "store": self.store.to_dict(),
                 "corpus_warmed_from_store": self.corpus_warmed,
                 "workers": worker_stats,
+                "saturation": dict(
+                    self._saturation_totals,
+                    budget_hits=dict(self._saturation_budget_hits),
+                ),
             }
 
     # -- lifecycle ---------------------------------------------------------

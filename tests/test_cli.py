@@ -218,6 +218,35 @@ class TestStatsJson:
         assert "saturation" in totals["timings"]
         assert {"saturation", "axiom_corpus"} <= set(report["global_caches"])
 
+    def test_saturation_block_reports_matcher_counters(
+        self, source_file, tmp_path, capsys
+    ):
+        import json
+
+        path = str(tmp_path / "stats.json")
+        status = main([source_file(SIMPLE), "--quiet", "--stats-json", path])
+        assert status == 0
+        report = json.load(open(path))
+        sat = report["gmas"][0]["saturation"]
+        assert sat["incremental"] is True
+        assert {"matches_attempted", "matches_found", "matches_pruned",
+                "budget_hits", "per_axiom", "phase_seconds"} <= set(sat)
+        totals = report["totals"]["saturation"]
+        assert totals["sessions"] == len(report["gmas"])
+        assert "budget_hits" in totals
+
+    def test_no_incremental_match_flag(self, source_file, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "stats.json")
+        status = main([source_file(SIMPLE), "--quiet",
+                       "--no-incremental-match", "--stats-json", path])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "s4addq" in out  # the naive path emits the same optimum
+        report = json.load(open(path))
+        assert report["gmas"][0]["saturation"]["incremental"] is False
+
     def test_unwritable_path_fails(self, source_file, capsys):
         status = main([source_file(SIMPLE), "--quiet",
                        "--stats-json", "/nonexistent/dir/stats.json"])

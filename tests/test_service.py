@@ -238,6 +238,18 @@ class TestEngine:
         assert worker["jobs_done"] == 1
         assert "saturation" in worker["stages"]
         assert 0.0 <= metrics["store"]["hit_rate"] <= 1.0
+        sat = metrics["saturation"]
+        assert sat["sessions"] >= 1
+        assert sat["incremental_sessions"] >= 1
+        assert sat["matches_attempted"] > 0
+        assert isinstance(sat["budget_hits"], dict)
+
+    def test_naive_matching_spec_changes_fingerprint_and_runs(self, engine):
+        naive = compile_spec(incremental_match=False)
+        assert job_fingerprint(naive) != job_fingerprint(compile_spec())
+        payload = engine.result(engine.submit(naive), timeout=60)
+        assert payload["ok"]
+        assert payload["stats"]["saturation"]["incremental_sessions"] == 0
 
     def test_warm_corpus_round_trip(self, tmp_path):
         path = str(tmp_path / "store.sqlite")
