@@ -22,7 +22,7 @@ workloads, the machinery the paper argues for:
 
 import pytest
 
-from repro import Denali, DenaliConfig, ev6, const, inp, mk
+from repro import Denali, ev6, const, inp, mk
 from repro.axioms import (
     AxiomSet,
     alpha_axioms,

@@ -1,0 +1,324 @@
+"""Flat-core SAT/e-graph kernels vs the pre-refactor object graph.
+
+The flat-core refactor rebuilt the hot kernels under ``sat/`` and
+``egraph/`` on struct-of-arrays storage: the CDCL core keeps clauses in
+one literal arena with inline watch slots and assignments in a flat
+value array, the union-find and hashcons run over parallel int arrays,
+and the canonical (lex-least) model is produced by a fused
+decision+propagation sweep that runs *first*, skipping the historical
+heuristic-then-canonical double solve whenever it is conclusive.
+
+Measured here, per workload, on the production configuration
+(incremental matching, incremental solver, saturation cache off,
+verify off):
+
+* **median end-to-end ms** and **median SAT-stage ms** per sweep over
+  repeated warm compiles, for the incremental-solver path and the
+  from-scratch solver path.  Each path is measured in its own
+  contiguous block (interleaving cross-pollutes allocator state enough
+  to skew vs-baseline ratios);
+* **flat-core telemetry**: peak literal-arena bytes, watch/arena
+  compaction counts and snapshot copy traffic, from the session stats
+  cache;
+* **byte-identical assembly** between the two solver paths — the
+  refactor's regression gate that the canonical decode is
+  heuristic-independent.
+
+Acceptance is measured against the *pre-refactor* main (commit
+bb1f6f6), whose end-to-end medians were recorded with this exact
+config and are committed in ``BENCH_saturation.json``: >= 2x
+end-to-end on checksum and >= 1.5x end-to-end on the fig2 + byteswap4
++ checksum suite, byte-identical assembly.  The ratios are asserted
+only when the full suite is measured (``BENCH_CORES_WORKLOADS``
+restricts the run); the byte-identity assertion always runs.
+
+Results land in ``benchmarks/out/bench_cores.json``; the repo-root
+``BENCH_cores.json`` summary tracks the trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from benchmarks.conftest import output_dir
+
+WORKLOAD_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "workloads"
+)
+WORKLOADS = ["fig2.dn", "byteswap4.dn", "checksum.dn"]
+SUITE = ("fig2.dn", "byteswap4.dn", "checksum.dn")
+REPEATS = {"fig2.dn": 25, "byteswap4.dn": 9, "checksum.dn": 5}
+
+MIN_CYCLES, MAX_CYCLES = 1, 10
+MAX_ROUNDS, MAX_ENODES = 8, 2500
+
+# End-to-end medians (incremental path) measured at the pre-refactor
+# main (commit bb1f6f6) with this exact config, on the machine that
+# produced the committed BENCH_saturation.json.
+PRE_REFACTOR_MS = {
+    "fig2.dn": 4.232,
+    "byteswap4.dn": 417.656,
+    "checksum.dn": 1312.66,
+}
+
+
+def _selected_workloads():
+    env = os.environ.get("BENCH_CORES_WORKLOADS")
+    if not env:
+        return list(WORKLOADS)
+    return [name.strip() for name in env.split(",") if name.strip()]
+
+
+def _build(path, incremental_solver):
+    from repro.axioms import (
+        AxiomSet,
+        alpha_axioms,
+        constant_synthesis_axioms,
+        math_axioms,
+    )
+    from repro.core.pipeline import Denali, DenaliConfig
+    from repro.core.probes import SearchStrategy
+    from repro.isa import ev6
+    from repro.lang import parse_program, translate_procedure
+    from repro.matching import SaturationConfig
+
+    with open(path) as handle:
+        prog = parse_program(handle.read())
+    axioms = (
+        math_axioms(prog.registry)
+        + constant_synthesis_axioms(prog.registry)
+        + alpha_axioms(prog.registry)
+        + AxiomSet(prog.axioms, "program")
+    )
+    config = DenaliConfig(
+        min_cycles=MIN_CYCLES,
+        max_cycles=MAX_CYCLES,
+        strategy=SearchStrategy.LINEAR,
+        verify=False,
+        enable_saturation_cache=False,
+        enable_incremental_solver=incremental_solver,
+        saturation=SaturationConfig(
+            max_rounds=MAX_ROUNDS,
+            max_enodes=MAX_ENODES,
+            incremental_match=True,
+        ),
+    )
+    den = Denali(
+        ev6(), axioms=axioms, registry=prog.registry, config=config
+    )
+    gmas = []
+    for proc in prog.procedures:
+        gmas.extend(translate_procedure(proc, prog.registry))
+    return den, gmas
+
+
+def _sweep(den, gmas, stage_stats):
+    """One full compile sweep; returns (sat_stage_s, total_s, stats)."""
+    del stage_stats[:]
+    start = time.perf_counter()
+    for label, gma in gmas:
+        den.compile_gma(gma, label=label)
+    total = time.perf_counter() - start
+    sat = sum(s.timings.get("sat", 0.0) for s in stage_stats)
+    return sat, total, list(stage_stats)
+
+
+def _flat_telemetry(collected):
+    """Aggregate the flat-core counters over one sweep's sessions."""
+    totals = {
+        "solver_arena_bytes_peak": 0,
+        "solver_watch_compactions": 0,
+        "solver_arena_compactions": 0,
+        "snapshot_copy_bytes": 0,
+    }
+    for stats in collected:
+        cache = getattr(stats, "cache", None) or {}
+        arena = int(cache.get("solver_arena_bytes", 0) or 0)
+        if arena > totals["solver_arena_bytes_peak"]:
+            totals["solver_arena_bytes_peak"] = arena
+        for key in (
+            "solver_watch_compactions",
+            "solver_arena_compactions",
+            "snapshot_copy_bytes",
+        ):
+            totals[key] += int(cache.get(key, 0) or 0)
+    return totals
+
+
+def _measure(path, repeats, stage_stats):
+    """Warm contiguous-block medians for the two solver paths."""
+    den_inc, gmas = _build(path, True)
+    den_scr, _ = _build(path, False)
+    asm_inc, asm_scr = [], []
+    for label, gma in gmas:  # warm: axiom corpus, compiled triggers
+        r_inc = den_inc.compile_gma(gma, label=label)
+        r_scr = den_scr.compile_gma(gma, label=label)
+        assert r_inc.schedule is not None, "%s found no schedule" % label
+        assert r_scr.schedule is not None, "%s found no schedule" % label
+        asm_inc.append(r_inc.assembly)
+        asm_scr.append(r_scr.assembly)
+    sat_inc, tot_inc, tot_scr = [], [], []
+    telemetry = None
+    for i in range(repeats):
+        s, t, collected = _sweep(den_inc, gmas, stage_stats)
+        sat_inc.append(s)
+        tot_inc.append(t)
+        if i == 0:
+            telemetry = _flat_telemetry(collected)
+    for i in range(repeats):
+        _, t, _ = _sweep(den_scr, gmas, stage_stats)
+        tot_scr.append(t)
+    return {
+        "gmas": len(gmas),
+        "sat_inc_ms": 1000 * statistics.median(sat_inc),
+        "total_inc_ms": 1000 * statistics.median(tot_inc),
+        "total_scratch_ms": 1000 * statistics.median(tot_scr),
+        "assembly_identical": asm_inc == asm_scr,
+        "telemetry": telemetry,
+    }
+
+
+def test_flat_cores(report, stage_stats):
+    selected = _selected_workloads()
+    entries = []
+    for name in selected:
+        path = os.path.join(WORKLOAD_DIR, name)
+        measured = _measure(path, REPEATS.get(name, 5), stage_stats)
+        pre = PRE_REFACTOR_MS.get(name)
+        entry = {
+            "workload": name,
+            "repeats": REPEATS.get(name, 5),
+            "gmas": measured["gmas"],
+            "sat_stage_ms": round(measured["sat_inc_ms"], 3),
+            "end_to_end_ms": {
+                "incremental": round(measured["total_inc_ms"], 3),
+                "scratch": round(measured["total_scratch_ms"], 3),
+                "pre_refactor": pre,
+            },
+            "end_to_end_speedup_vs_pre_refactor": round(
+                pre / measured["total_inc_ms"], 3
+            )
+            if pre
+            else None,
+            "assembly_identical": measured["assembly_identical"],
+            "flat_cores": measured["telemetry"],
+        }
+        entries.append(entry)
+
+    suite = [e for e in entries if e["workload"] in SUITE]
+    suite_complete = {e["workload"] for e in suite} == set(SUITE)
+    suite_speedup = None
+    if suite_complete:
+        pre_total = sum(PRE_REFACTOR_MS[e["workload"]] for e in suite)
+        inc_total = sum(e["end_to_end_ms"]["incremental"] for e in suite)
+        suite_speedup = round(pre_total / inc_total, 3)
+
+    result = {
+        "workloads": [e["workload"] for e in entries],
+        "strategy": "linear",
+        "min_cycles": MIN_CYCLES,
+        "max_cycles": MAX_CYCLES,
+        "per_workload": entries,
+        "suite": {
+            "workloads": list(SUITE),
+            "complete": suite_complete,
+            "end_to_end_speedup_vs_pre_refactor": suite_speedup,
+        },
+    }
+    with open(
+        os.path.join(output_dir(), "bench_cores.json"), "w"
+    ) as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    # The repo-root summary tracks the flat-core trajectory across PRs.
+    # Partial runs merge: they refresh the workloads they measured and
+    # touch the suite speedup only when the whole suite ran.
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    summary_path = os.path.join(root, "BENCH_cores.json")
+    summary = {
+        "bench": "flat struct-of-arrays SAT/e-graph cores vs pre-refactor",
+        "pre_refactor_end_to_end_ms": PRE_REFACTOR_MS,
+        "suite": {
+            "workloads": list(SUITE),
+            "complete": False,
+            "end_to_end_speedup_vs_pre_refactor": None,
+        },
+        "median_ms": {},
+    }
+    if os.path.exists(summary_path):
+        try:
+            with open(summary_path) as handle:
+                summary.update(json.load(handle))
+        except (OSError, ValueError):
+            pass
+    for e in entries:
+        summary["median_ms"][e["workload"]] = {
+            "sat_stage": e["sat_stage_ms"],
+            "end_to_end": e["end_to_end_ms"],
+            "end_to_end_speedup_vs_pre_refactor": e[
+                "end_to_end_speedup_vs_pre_refactor"
+            ],
+            "flat_cores": e["flat_cores"],
+        }
+    if suite_complete:
+        summary["suite"] = {
+            "workloads": list(SUITE),
+            "complete": True,
+            "end_to_end_speedup_vs_pre_refactor": suite_speedup,
+        }
+    with open(summary_path, "w") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+
+    lines = [
+        "workload      gmas  sat ms   e2e inc  e2e scratch  pre-ref  "
+        "vs pre  identical  arena KiB",
+    ]
+    for e in entries:
+        flat = e["flat_cores"] or {}
+        lines.append(
+            "%-12s  %4d  %6.1f   %7.1f   %9.1f   %7.1f  %5.2fx  %-9s  %d"
+            % (
+                e["workload"],
+                e["gmas"],
+                e["sat_stage_ms"],
+                e["end_to_end_ms"]["incremental"],
+                e["end_to_end_ms"]["scratch"],
+                e["end_to_end_ms"]["pre_refactor"] or 0.0,
+                e["end_to_end_speedup_vs_pre_refactor"] or 0.0,
+                e["assembly_identical"],
+                flat.get("solver_arena_bytes_peak", 0) // 1024,
+            )
+        )
+    if suite_speedup is not None:
+        lines.append(
+            "suite (%s): %.2fx end-to-end vs pre-refactor"
+            % (" + ".join(e["workload"] for e in suite), suite_speedup)
+        )
+    report(
+        "flat-core solver paths vs pre-refactor (warm, verify off, "
+        "saturation cache off)",
+        "\n".join(lines),
+    )
+
+    for e in entries:
+        assert e["assembly_identical"], (
+            "%s: incremental and from-scratch solver paths emitted "
+            "different assembly" % e["workload"]
+        )
+    if suite_complete:
+        checksum = next(
+            e for e in entries if e["workload"] == "checksum.dn"
+        )
+        assert checksum["end_to_end_speedup_vs_pre_refactor"] >= 2.0, (
+            "checksum end-to-end speedup %.2fx < 2x vs pre-refactor"
+            % checksum["end_to_end_speedup_vs_pre_refactor"]
+        )
+        assert suite_speedup >= 1.5, (
+            "fig2 + byteswap4 + checksum end-to-end speedup %.2fx < 1.5x "
+            "vs pre-refactor" % suite_speedup
+        )

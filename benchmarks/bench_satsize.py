@@ -10,7 +10,7 @@ differ: our E-graph and encoding details are not byte-identical to the
 prototype's).
 """
 
-from repro import Denali, ev6
+from repro import ev6
 from repro.axioms import alpha_axioms, constant_synthesis_axioms, math_axioms
 from repro.egraph import EGraph
 from repro.encode import encode_schedule

@@ -17,9 +17,9 @@ variable, so an instance is fully determined by a match.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
-from repro.terms.ops import OperatorRegistry, Sort
+from repro.terms.ops import OperatorRegistry
 from repro.terms.term import Term, const, mk
 
 

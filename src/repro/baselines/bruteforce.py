@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.terms.evaluator import Evaluator
 from repro.terms.ops import OperatorRegistry, default_registry
-from repro.terms.term import Term, subterms
+from repro.terms.term import Term
 from repro.terms.values import M64
 
 # (kind, payload): kind "in" = input index, "t" = temp index, "imm" = literal

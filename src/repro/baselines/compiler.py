@@ -16,8 +16,8 @@ functional and timing simulators that judge Denali judge the baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.extraction import Operand, Schedule, ScheduledInstruction
 from repro.egraph.egraph import ENode

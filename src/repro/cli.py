@@ -891,6 +891,11 @@ def _write_profile_json(args, collected) -> None:
     sat_totals = {"matches_attempted": 0, "matches_found": 0,
                   "matches_pruned": 0, "instances_asserted": 0,
                   "rounds": 0}
+    # Flat-core telemetry: arena footprint is a peak (the largest solver
+    # arena any compilation grew), compactions and snapshot copies are
+    # cumulative work counts.
+    flat_totals = {"solver_arena_bytes_peak": 0, "solver_watch_compactions": 0,
+                   "solver_arena_compactions": 0, "snapshot_copy_bytes": 0}
     for stats in collected:
         probes = []
         for p in stats.probes:
@@ -939,6 +944,26 @@ def _write_profile_json(args, collected) -> None:
             sat_totals["matches_pruned"] += s.matches_pruned
             sat_totals["instances_asserted"] += s.instances_asserted
             sat_totals["rounds"] += s.rounds
+        cache = stats.cache
+        flat_cores = {
+            "solver_arena_bytes": cache.get("solver_arena_bytes", 0),
+            "solver_watch_compactions": cache.get(
+                "solver_watch_compactions", 0
+            ),
+            "solver_arena_compactions": cache.get(
+                "solver_arena_compactions", 0
+            ),
+            "snapshot_copy_bytes": cache.get("snapshot_copy_bytes", 0),
+        }
+        if flat_cores["solver_arena_bytes"] > flat_totals[
+            "solver_arena_bytes_peak"
+        ]:
+            flat_totals["solver_arena_bytes_peak"] = flat_cores[
+                "solver_arena_bytes"
+            ]
+        for key in ("solver_watch_compactions", "solver_arena_compactions",
+                    "snapshot_copy_bytes"):
+            flat_totals[key] += flat_cores[key]
         gmas.append(
             {
                 "label": stats.label,
@@ -946,6 +971,7 @@ def _write_profile_json(args, collected) -> None:
                     k: round(v, 6) for k, v in stats.timings.items()
                 },
                 "saturation": saturation,
+                "flat_cores": flat_cores,
                 "probes": probes,
             }
         )
@@ -957,6 +983,7 @@ def _write_profile_json(args, collected) -> None:
         "gmas": gmas,
         "totals": totals,
         "saturation_totals": sat_totals,
+        "flat_core_totals": flat_totals,
     }
     with open(args.profile_json, "w") as handle:
         json.dump(report, handle, indent=2)

@@ -19,13 +19,12 @@ some care:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.egraph.egraph import EGraph, ENode
 from repro.encode.constraints import Encoding
 from repro.isa.allocator import allocate_destinations
 from repro.isa.registers import RegisterFile, TEMP_REGISTERS, ZERO_REGISTER
-from repro.isa.spec import ArchSpec
 from repro.terms.ops import Sort
 
 

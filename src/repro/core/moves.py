@@ -17,7 +17,6 @@ temporary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.extraction import Operand, Schedule, ScheduledInstruction

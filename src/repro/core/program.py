@@ -20,11 +20,10 @@ against the reference interpreter, not just straight-line bodies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.extraction import Schedule, ScheduledInstruction
-from repro.core.moves import bind_outputs
 from repro.isa.spec import ArchSpec
 from repro.lang.gma import GMA
 from repro.sim.machine import MachineState, _compute

@@ -56,6 +56,13 @@ class StageStats:
             "solver_clauses_fed": 0,
             "solver_learned_reused": 0,
             "solver_learnts_dropped": 0,
+            # Flat-core telemetry: peak clause-arena bytes across the
+            # session's solvers, watch-list / arena compaction counts,
+            # and bytes moved by E-graph snapshot/restore copies.
+            "solver_arena_bytes": 0,
+            "solver_watch_compactions": 0,
+            "solver_arena_compactions": 0,
+            "snapshot_copy_bytes": 0,
         }
     )
     best_cycles: Optional[int] = None
@@ -273,6 +280,7 @@ class CompilationSession:
         """
         cfg = self.config
         goals = self.gma.goal_terms()
+        copy_bytes_before = EGraph.copy_bytes_total
         with _StageTimer(self.stats, "saturation"):
             key = None
             if cfg.enable_saturation_cache:
@@ -286,6 +294,9 @@ class CompilationSession:
                     eg = snapshot.restore()
                     self.stats.saturation = sat_stats
                     goal_ids = [eg.find(eg.add_term(t)) for t in goals]
+                    self.stats.cache["snapshot_copy_bytes"] += (
+                        EGraph.copy_bytes_total - copy_bytes_before
+                    )
                     return SaturationHandle(eg, goal_ids, sat_stats, snapshot)
                 self.stats.cache["saturation_misses"] += 1
             eg = EGraph()
@@ -299,6 +310,9 @@ class CompilationSession:
                 _cache.global_saturation_cache().store_snapshot(
                     key, snapshot, sat_stats
                 )
+        self.stats.cache["snapshot_copy_bytes"] += (
+            EGraph.copy_bytes_total - copy_bytes_before
+        )
         return SaturationHandle(eg, goal_ids, sat_stats, snapshot)
 
     # -- stages 2-4: probe = encode + sat + extract ---------------------------
@@ -392,6 +406,7 @@ class CompilationSession:
             p.time_seconds = res.stats.time_seconds
             self.stats.add_time("sat", p.solve_seconds)
             self.stats.cache["solver_learned_reused"] += res.stats.learned_kept
+            self._note_flat_counters(solver.flat_counters())
             payload = None
             if res.satisfiable:
                 t2 = time.perf_counter()
@@ -439,6 +454,10 @@ class CompilationSession:
                 stop_check=cancel,
             )
             res = solver.solve(encoding.cnf, canonical_model=True)
+            if solver.last_flat_counters is not None:
+                self._note_flat_counters(
+                    solver.last_flat_counters, accumulate=True
+                )
             p.satisfiable = res.satisfiable
             p.conflicts = res.stats.conflicts
             p.propagations = res.stats.propagations
@@ -458,6 +477,26 @@ class CompilationSession:
             return res.satisfiable, payload, p
 
         return probe_incremental if use_incremental else probe_scratch
+
+    def _note_flat_counters(self, fc: Dict[str, int], accumulate=False) -> None:
+        """Fold one solver's flat-arena telemetry into the session cache.
+
+        The incremental path reports one core's *cumulative* counters, so
+        later snapshots supersede earlier ones (max); the scratch path
+        builds a fresh core per probe, so its compaction counts add up
+        (``accumulate``).  Arena bytes are always tracked as a peak.
+        """
+        cache = self.stats.cache
+        if fc["arena_bytes"] > cache["solver_arena_bytes"]:
+            cache["solver_arena_bytes"] = fc["arena_bytes"]
+        for key, name in (
+            ("solver_watch_compactions", "watch_compactions"),
+            ("solver_arena_compactions", "arena_compactions"),
+        ):
+            if accumulate:
+                cache[key] += fc[name]
+            elif fc[name] > cache[key]:
+                cache[key] = fc[name]
 
     def search(self, probe, lo: int, hi: int) -> SearchOutcome:
         """Run the configured probe scheduler over ``[lo, hi]``."""

@@ -13,7 +13,7 @@ the package and as a quick upper bound before the SAT search runs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.egraph.egraph import EGraph, ENode
 from repro.terms.ops import OperatorRegistry, default_registry
@@ -138,7 +138,12 @@ def partition_signature(eg: EGraph) -> Tuple:
     Returns a sorted tuple of ``(label, class_size)`` pairs, where
     ``class_size`` is the class's enode count.
     """
-    index = eg.class_index()
+    # Materialise root -> canonical nodes once from the flat class
+    # chains; after the rebuild this performs, every node's argument ids
+    # are roots, so labels can be read without re-canonicalising.
+    index: Dict[int, list] = {
+        root: eg.enodes(root) for root in eg.classes()
+    }
     labels: Dict[int, int] = {root: 0 for root in index}
 
     def shape(node: ENode) -> Tuple:
@@ -152,7 +157,7 @@ def partition_signature(eg: EGraph) -> Tuple:
             rows = sorted(
                 (
                     shape(node),
-                    tuple(labels[eg.find(arg)] for arg in node.args),
+                    tuple(labels[arg] for arg in node.args),
                 )
                 for node in nodes
             )

@@ -8,31 +8,48 @@ classes as *uncombinable*; merging such a pair raises
 :class:`InconsistentError`, as does merging two distinct constants.
 
 The implementation uses deferred rebuilding (in the style popularised by
-egg): :meth:`merge` only unions the classes and marks the graph dirty;
-congruence closure runs in :meth:`rebuild`, which re-canonicalises the
-hashcons to a fixpoint.  All read operations rebuild lazily, so clients
-never observe a non-congruent graph.
+egg): :meth:`merge` only unions the classes and enqueues the losing
+root's parent nodes for repair; congruence closure runs in
+:meth:`rebuild`, which drains that worklist — re-canonicalising exactly
+the nodes an argument of which changed class, instead of rescanning the
+whole hashcons.  All read operations rebuild lazily, so clients never
+observe a non-congruent graph.
+
+Memory layout (see DESIGN.md §2.6): nodes are integer ids into parallel
+flat columns — the canonical :class:`ENode` key, the creation class id,
+doubly-linked intra-class chain pointers and a liveness byte — while
+class ids index a sort byte-column and the head/tail of the class's
+node chain.  Class membership is therefore spliced in O(1) on union,
+per-op trigger buckets are append-ordered nid lists with lazy dead-slot
+compaction, and :meth:`copy` (the substrate of
+:class:`EGraphSnapshot`/:meth:`EGraphSnapshot.restore`) is one flat
+copy per column.
 
 Incremental-matching support (Simplify's mod-time idea, section 5 of the
 paper's substrate): every structural change bumps :attr:`version` and
 stamps the touched class in a per-class mod-time table, so
 :meth:`changed_since` / :meth:`dirty_cone` let the matcher visit only the
-classes that could possibly yield a new match since a previous round.  The
-graph also keeps per-op and per-class node indexes (re-derived during
-:meth:`rebuild`, appended to on :meth:`add_enode`), which turn the
-matcher's class walks from full-hashcons scans into direct lookups.
-:meth:`snapshot` captures a rebuilt image that can be re-materialised with
-one flat-dict copy per structure — no per-class object reconstruction.
+classes that could possibly yield a new match since a previous round.
+The matcher's hot loops read the columns directly through
+:meth:`flat_view`, so a class walk is pointer-chasing over int lists
+with no per-read canonicalisation (alive keys are canonical after
+:meth:`rebuild`).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from repro.egraph.unionfind import UnionFind
 from repro.terms.ops import Sort
 from repro.terms.term import Term
+from repro.util.soa import columns_bytes, swap_remove
+
+_SORT_LIST: Tuple[Sort, ...] = tuple(Sort)
+_SORT_INDEX: Dict[Sort, int] = {s: i for i, s in enumerate(_SORT_LIST)}
+
+_NIL = -1  # chain terminator / empty-class head
 
 
 class InconsistentError(Exception):
@@ -60,6 +77,21 @@ class ENode(NamedTuple):
         return "(%s %s)" % (self.op, " ".join("c%d" % a for a in self.args))
 
 
+class FlatView(NamedTuple):
+    """Read-only aliases of the graph's flat columns, post-rebuild.
+
+    Handed to the matcher so its inner loops index the columns directly.
+    Callers must not mutate the columns and must not hold the view
+    across graph mutations (a rebuild may splice chains and kill nodes).
+    """
+
+    node_key: List[ENode]  # nid -> canonical key
+    node_class: List[int]  # nid -> class id at creation (find() for root)
+    nid_next: List[int]  # nid -> next nid in its class chain, _NIL at end
+    cls_head: List[int]  # class id -> first nid of chain (_NIL if merged)
+    consts: Dict[int, int]  # class root -> constant value (sparse)
+
+
 class EGraph:
     """The E-graph proper.
 
@@ -72,64 +104,106 @@ class EGraph:
         for cid in eg.classes(): ...   # enumerate equivalence classes
     """
 
+    # Cumulative flat-copy telemetry (class-level: the saturation cache
+    # and profiling harness read deltas across an operation).
+    copy_bytes_total = 0
+    copy_count = 0
+
     def __init__(self) -> None:
         self._uf = UnionFind()
-        # Per-class data lives in parallel flat dicts keyed by root so that
-        # copy/snapshot are plain dict copies.  _consts and _distinct are
-        # sparse: absent key == no constant / no distinctions.
-        self._sorts: Dict[int, Sort] = {}
+        self._n_classes = 0
+        # Per-class columns, indexed by class id (grown by make_set).
+        self._sort_col = bytearray()
+        self._cls_head: List[int] = []
+        self._cls_tail: List[int] = []
+        # Sparse per-class facts, keyed by root.
         self._consts: Dict[int, int] = {}
         self._distinct: Dict[int, Set[int]] = {}
+        # Per-node columns, indexed by nid.
+        self._node_key: List[ENode] = []
+        self._node_class: List[int] = []
+        self._nid_next: List[int] = []
+        self._nid_prev: List[int] = []
+        self._node_alive = bytearray()
+        # key -> nid; holds exactly the alive nodes.
         self._hashcons: Dict[ENode, int] = {}
+        # op -> append-ordered nids (may hold dead slots, counted in
+        # _op_dead and compacted once they dominate a bucket).
+        self._op_nodes: Dict[str, List[int]] = {}
+        self._op_dead: Dict[str, int] = {}
+        # class root -> nids using the class as an argument.  May hold
+        # dead or duplicate entries (pruned opportunistically); None
+        # until first needed (restored copies re-derive lazily).
+        self._class_parents: Optional[Dict[int, List[int]]] = {}
+        # Congruence-repair worklist: nids whose argument classes lost a
+        # union since their key was last canonicalised.
+        self._repair: List[int] = []
         self._node_term: Dict[ENode, Term] = {}
         self._term_class: Dict[Term, int] = {}
-        self._dirty = False
-        # Ids that lost a union (find(id) != id).  A node's canonical form
-        # can only differ from the stored one if an argument id is dead,
-        # so rebuild's closure pass uses this set to copy untouched nodes
-        # through without re-deriving their canonical form.
-        self._dead: Set[int] = set()
         self.version = 0  # bumped on every structural change
         self.merges = 0  # successful unions (incl. congruence closure)
         # Mod-time journal: (version, class id) per structural change, in
         # version order, so "what changed since stamp S" is a bisect plus
         # a suffix scan — O(changes since S), not O(classes).
         self._touch_log: List[Tuple[int, int]] = []
-        # child root -> class ids containing a node with that argument;
-        # None until first needed (restored copies rebuild it lazily).
-        self._parents: Optional[Dict[int, Set[int]]] = None
-        # Derived indexes over the settled hashcons, kept in hashcons
-        # insertion order: op -> [(node, root)], root -> [node].  Appended
-        # to by add_enode, re-derived wholesale when rebuild does work;
-        # None = derive on next read (fresh copies start that way so a
-        # copy is flat dict clones only).
-        self._op_index: Optional[Dict[str, List[Tuple[ENode, int]]]] = {}
-        self._class_index: Optional[Dict[int, List[ENode]]] = {}
 
     def copy(self) -> "EGraph":
         """An independent graph with the same classes, nodes and facts.
 
         Terms and enodes are immutable and shared; all mutable structure
-        (union-find, class data, hashcons) is duplicated, so mutating the
-        copy never affects the original.  The saturation cache relies on
-        this to hand out working graphs while keeping a pristine master.
+        is duplicated with one flat copy per column/table, so mutating
+        the copy never affects the original.  The saturation cache
+        relies on this to hand out working graphs while keeping a
+        pristine master.
         """
         out = EGraph.__new__(EGraph)
         out._uf = self._uf.copy()
-        out._sorts = dict(self._sorts)
+        out._n_classes = self._n_classes
+        out._sort_col = bytearray(self._sort_col)
+        out._cls_head = list(self._cls_head)
+        out._cls_tail = list(self._cls_tail)
         out._consts = dict(self._consts)
         out._distinct = {cid: set(s) for cid, s in self._distinct.items()}
+        out._node_key = list(self._node_key)
+        out._node_class = list(self._node_class)
+        out._nid_next = list(self._nid_next)
+        out._nid_prev = list(self._nid_prev)
+        out._node_alive = bytearray(self._node_alive)
         out._hashcons = dict(self._hashcons)
+        out._op_nodes = {op: list(v) for op, v in self._op_nodes.items()}
+        out._op_dead = dict(self._op_dead)
+        out._class_parents = None
+        out._repair = list(self._repair)
         out._node_term = dict(self._node_term)
         out._term_class = dict(self._term_class)
-        out._dirty = self._dirty
-        out._dead = set(self._dead)
         out.version = self.version
         out.merges = self.merges
         out._touch_log = list(self._touch_log)
-        out._parents = None
-        out._op_index = None
-        out._class_index = None
+        copied = columns_bytes(
+            out._sort_col,
+            out._cls_head,
+            out._cls_tail,
+            out._node_key,
+            out._node_class,
+            out._nid_next,
+            out._nid_prev,
+            out._node_alive,
+            out._repair,
+            out._touch_log,
+        )
+        # Hash tables are charged two slot words per entry (key + value
+        # pointers); like the column measure, this tracks relative
+        # growth, not absolute RSS.
+        copied += 16 * (
+            len(out._hashcons)
+            + len(out._consts)
+            + len(out._distinct)
+            + len(out._node_term)
+            + len(out._term_class)
+            + sum(len(v) for v in out._op_nodes.values())
+        )
+        EGraph.copy_bytes_total += copied
+        EGraph.copy_count += 1
         return out
 
     def snapshot(self) -> "EGraphSnapshot":
@@ -145,45 +219,112 @@ class EGraph:
     def classes(self) -> Iterator[int]:
         """All equivalence-class roots."""
         self.rebuild()
-        return iter(list(self._sorts))
+        head = self._cls_head
+        return iter([cid for cid in range(len(head)) if head[cid] != _NIL])
+
+    def class_nids(self, cid: int) -> List[int]:
+        """The node ids of ``cid``'s class, in chain (creation) order."""
+        self.rebuild()
+        out = []
+        append = out.append
+        nxt = self._nid_next
+        nid = self._cls_head[self._uf.find(cid)]
+        while nid != _NIL:
+            append(nid)
+            nid = nxt[nid]
+        return out
 
     def enodes(self, cid: int) -> List[ENode]:
         """The canonicalised nodes of ``cid``'s class."""
-        self.rebuild()
-        return list(self._class_index.get(self._uf.find(cid), ()))
+        key = self._node_key
+        return [key[nid] for nid in self.class_nids(cid)]
 
     def class_index(self) -> Dict[int, List[ENode]]:
-        """Read-only view: class root -> canonical nodes.
+        """Materialised view: class root -> canonical nodes.
 
-        The dict and its lists are the graph's own index — callers must
-        not mutate them, and must not hold the view across mutations.
+        Built fresh per call from the class chains; prefer
+        :meth:`flat_view` plus chain walks on hot paths.
         """
         self.rebuild()
-        return self._class_index
+        key = self._node_key
+        nxt = self._nid_next
+        head = self._cls_head
+        index: Dict[int, List[ENode]] = {}
+        for cid in range(len(head)):
+            nid = head[cid]
+            if nid == _NIL:
+                continue
+            nodes = []
+            append = nodes.append
+            while nid != _NIL:
+                append(key[nid])
+                nid = nxt[nid]
+            index[cid] = nodes
+        return index
+
+    def flat_view(self) -> FlatView:
+        """The rebuilt graph's flat columns, for matcher inner loops.
+
+        After :meth:`rebuild`, every alive node's key is canonical
+        (argument ids are roots), so consumers can use ``node.args``
+        directly without re-canonicalising.
+        """
+        self.rebuild()
+        return FlatView(
+            node_key=self._node_key,
+            node_class=self._node_class,
+            nid_next=self._nid_next,
+            cls_head=self._cls_head,
+            consts=self._consts,
+        )
 
     def all_nodes(self) -> Iterator[Tuple[ENode, int]]:
         """All (canonical enode, class root) pairs."""
         self.rebuild()
-        for node, cid in self._hashcons.items():
-            yield node, self._uf.find(cid)
+        find = self._uf.find
+        node_class = self._node_class
+        for node, nid in self._hashcons.items():
+            yield node, find(node_class[nid])
+
+    def op_nids(self, op: str) -> List[int]:
+        """Alive node ids applying ``op``, in creation order.
+
+        Returns the graph's own bucket when it has no dead slots —
+        callers must treat the result as read-only and must not hold it
+        across mutations.
+        """
+        self.rebuild()
+        bucket = self._op_nodes.get(op)
+        if bucket is None:
+            return []
+        if self._op_dead.get(op):
+            alive = self._node_alive
+            return [nid for nid in bucket if alive[nid]]
+        return bucket
 
     def nodes_with_op(self, op: str) -> List[Tuple[ENode, int]]:
         """All (canonical enode, class root) pairs whose operator is ``op``.
 
-        The stored class ids are roots: the index is re-derived after any
-        union (unions mark the graph dirty), so between rebuilds no entry
-        can go stale.
+        The returned class ids are roots: rebuild repairs every node an
+        argument of which changed, so between rebuilds no entry can go
+        stale.
         """
-        self.rebuild()
-        return list(self._op_index.get(op, ()))
+        nids = self.op_nids(op)
+        key = self._node_key
+        node_class = self._node_class
+        roots = self._uf.find_many([node_class[nid] for nid in nids])
+        return list(zip((key[nid] for nid in nids), roots))
 
     def op_count(self, op: str) -> int:
         """How many enodes apply ``op`` (the size of its trigger bucket)."""
         self.rebuild()
-        return len(self._op_index.get(op, ()))
+        bucket = self._op_nodes.get(op)
+        if bucket is None:
+            return 0
+        return len(bucket) - self._op_dead.get(op, 0)
 
     def class_sort(self, cid: int) -> Sort:
-        return self._sorts[self._uf.find(cid)]
+        return _SORT_LIST[self._sort_col[self._uf.find(cid)]]
 
     def const_of(self, cid: int) -> Optional[int]:
         """The constant value of the class, if it contains a constant node."""
@@ -195,7 +336,7 @@ class EGraph:
 
     def num_classes(self) -> int:
         self.rebuild()
-        return len(self._sorts)
+        return self._n_classes
 
     def num_enodes(self) -> int:
         self.rebuild()
@@ -204,12 +345,13 @@ class EGraph:
     def enodes_at_least(self, bound: int) -> bool:
         """Exact ``num_enodes() >= bound``, cheap in the common case.
 
-        Between rebuilds the hashcons may hold stale duplicates but never
-        misses a node — re-canonicalisation only removes entries — so its
-        raw size is an upper bound on the canonical count.  When that
-        bound is already below ``bound`` the answer is settled without
-        paying for congruence closure; saturation's per-instance budget
-        check lives on this fast path until the graph nears the budget.
+        Between rebuilds the hashcons may hold not-yet-merged congruent
+        twins but never misses a node — repair only removes entries — so
+        its raw size is an upper bound on the canonical count.  When
+        that bound is already below ``bound`` the answer is settled
+        without paying for congruence closure; saturation's per-instance
+        budget check lives on this fast path until the graph nears the
+        budget.
         """
         if len(self._hashcons) < bound:
             return False
@@ -239,10 +381,9 @@ class EGraph:
         surviving root (``find`` maps dead ids forward).
         """
         self.rebuild()
-        find = self._uf.find
         log = self._touch_log
         start = bisect_left(log, (stamp + 1, -1))
-        return {find(cid) for _version, cid in log[start:]}
+        return set(self._uf.find_many([cid for _version, cid in log[start:]]))
 
     def dirty_cone(self, stamp: int) -> Set[int]:
         """Classes whose match sets may have changed since ``stamp``.
@@ -252,17 +393,8 @@ class EGraph:
         from C through argument edges changed, so C is in the cone of the
         change.  Computed once per saturation round, not per touch.
         """
-        find = self._uf.find
         cone = self.changed_since(stamp)
-        parents = self._ensure_parents()
-        work = list(cone)
-        while work:
-            cid = work.pop()
-            for parent in parents.get(cid, ()):
-                root = find(parent)
-                if root not in cone:
-                    cone.add(root)
-                    work.append(root)
+        self._cone_closure(cone, list(cone), None)
         return cone
 
     def extend_cone(self, cone: Set[int], stamp: int) -> Set[int]:
@@ -278,26 +410,50 @@ class EGraph:
         not O(cone).
         """
         self.rebuild()
-        find = self._uf.find
         log = self._touch_log
         start = bisect_left(log, (stamp + 1, -1))
-        fresh = {find(cid) for _version, cid in log[start:]}
+        fresh = set(
+            self._uf.find_many([cid for _version, cid in log[start:]])
+        )
         if not fresh:
             return fresh
-        parents = self._ensure_parents()
         cone.update(fresh)
         # BFS from every touched root, even ones already in the cone: a
         # merge can graft new parent edges onto an old cone member.
-        work = list(fresh)
+        self._cone_closure(cone, list(fresh), fresh)
+        return fresh
+
+    def _cone_closure(
+        self, cone: Set[int], work: List[int], fresh: Optional[Set[int]]
+    ) -> None:
+        """Close ``cone`` upward over parent edges, starting from ``work``.
+
+        Newly added roots are also recorded in ``fresh`` when given.
+        Dead parent entries encountered on the walk are swap-removed —
+        parent lists carry no order, so the O(1) removal is safe.
+        """
+        parents = self._ensure_parents()
+        find = self._uf.find
+        alive = self._node_alive
+        node_class = self._node_class
         while work:
             cid = work.pop()
-            for parent in parents.get(cid, ()):
-                root = find(parent)
+            plist = parents.get(cid)
+            if not plist:
+                continue
+            i = 0
+            while i < len(plist):
+                pnid = plist[i]
+                if not alive[pnid]:
+                    swap_remove(plist, i)
+                    continue
+                i += 1
+                root = find(node_class[pnid])
                 if root not in cone:
                     cone.add(root)
-                    fresh.add(root)
+                    if fresh is not None:
+                        fresh.add(root)
                     work.append(root)
-        return fresh
 
     # -- construction ------------------------------------------------------
 
@@ -324,23 +480,30 @@ class EGraph:
         sort: Sort = Sort.INT,
     ) -> int:
         """Intern one enode; returns its (possibly pre-existing) class root."""
+        find = self._uf.find
         node = self._canon(ENode(op, tuple(args), value, name))
         existing = self._hashcons.get(node)
         if existing is not None:
-            return self._uf.find(existing)
+            return find(self._node_class[existing])
         cid = self._uf.make_set()
-        self._sorts[cid] = sort
+        nid = len(self._node_key)
+        self._sort_col.append(_SORT_INDEX[sort])
+        self._cls_head.append(nid)
+        self._cls_tail.append(nid)
+        self._node_key.append(node)
+        self._node_class.append(cid)
+        self._nid_next.append(_NIL)
+        self._nid_prev.append(_NIL)
+        self._node_alive.append(1)
+        self._n_classes += 1
         if op == "const":
             self._consts[cid] = value
-        self._hashcons[node] = cid
-        if self._op_index is not None:
-            self._op_index.setdefault(op, []).append((node, cid))
-        if self._class_index is not None:
-            self._class_index.setdefault(cid, []).append(node)
-        if self._parents is not None:
-            find = self._uf.find
+        self._hashcons[node] = nid
+        self._op_nodes.setdefault(op, []).append(nid)
+        parents = self._class_parents
+        if parents is not None:
             for arg in set(node.args):
-                self._parents.setdefault(find(arg), set()).add(cid)
+                parents.setdefault(arg, []).append(nid)
         self.version += 1
         self._touch_log.append((self.version, cid))
         return cid
@@ -369,80 +532,97 @@ class EGraph:
     # -- congruence closure --------------------------------------------------
 
     def rebuild(self) -> None:
-        """Re-canonicalise the hashcons until congruence closure is reached.
+        """Drain the repair worklist until congruence closure is reached.
 
-        The node indexes are built during the final (clean) pass rather
-        than in a separate scan: a pass that discovers no congruent twins
-        performs no unions, so the roots recorded while it runs are final.
+        Each queued nid re-canonicalises its key; keys colliding in the
+        hashcons are congruent twins, whose classes are unioned (which
+        enqueues *their* argument-users in turn).  Nodes never touched
+        by a union are never re-examined — the pass is O(affected), not
+        O(graph).
         """
-        if not self._dirty:
-            if self._op_index is None:
-                self._derive_indexes()
+        queue = self._repair
+        if not queue:
             return
-        while self._dirty:
-            self._dirty = False
-            find = self._uf.find
-            dead = self._dead
-            node_term = self._node_term
-            fresh: Dict[ENode, int] = {}
-            op_index: Dict[str, List[Tuple[ENode, int]]] = {}
-            class_index: Dict[int, List[ENode]] = {}
-            for node, cid in self._hashcons.items():
-                # A canonical form can only have changed if an argument id
-                # lost a union since the node was stored; the common case
-                # (no dead args) copies the node through untouched.
-                args = node.args
-                if args and not dead.isdisjoint(args):
-                    canon_args = tuple(map(find, args))
-                    if canon_args == args:
-                        canon = node
-                    else:
-                        canon = ENode(node.op, canon_args, node.value,
-                                      node.name)
-                        if node in node_term:
-                            node_term.setdefault(canon, node_term[node])
-                else:
-                    canon = node
-                if cid in dead:
-                    cid = find(cid)
-                dup = fresh.get(canon)
-                if dup is not None:
-                    if dup != cid:
-                        # Congruent twins discovered: merge their classes.
-                        self._union(dup, cid)
-                else:
-                    fresh[canon] = cid
-                    op_index.setdefault(canon.op, []).append((canon, cid))
-                    class_index.setdefault(cid, []).append(canon)
-            self._hashcons = fresh
-            if not self._dirty:
-                self._op_index = op_index
-                self._class_index = class_index
-
-    def _derive_indexes(self) -> None:
-        """Rebuild the op and class indexes from the settled hashcons in
-        one pass, preserving insertion order."""
         find = self._uf.find
-        op_index: Dict[str, List[Tuple[ENode, int]]] = {}
-        class_index: Dict[int, List[ENode]] = {}
-        for node, cid in self._hashcons.items():
-            root = find(cid)
-            op_index.setdefault(node.op, []).append((node, root))
-            class_index.setdefault(root, []).append(node)
-        self._op_index = op_index
-        self._class_index = class_index
+        hashcons = self._hashcons
+        node_key = self._node_key
+        node_class = self._node_class
+        alive = self._node_alive
+        node_term = self._node_term
+        while queue:
+            nid = queue.pop()
+            if not alive[nid]:
+                continue
+            node = node_key[nid]
+            args = node.args
+            changed = False
+            canon_args = []
+            for a in args:
+                r = find(a)
+                if r != a:
+                    changed = True
+                canon_args.append(r)
+            if not changed:
+                continue
+            canon = ENode(node.op, tuple(canon_args), node.value, node.name)
+            term = node_term.get(node)
+            if term is not None:
+                node_term.setdefault(canon, term)
+            del hashcons[node]
+            other = hashcons.get(canon)
+            if other is not None:
+                # Congruent twins discovered: merge their classes.
+                self._kill_node(nid)
+                self._union(node_class[other], node_class[nid])
+            else:
+                hashcons[canon] = nid
+                node_key[nid] = canon
+                parents = self._class_parents
+                if parents is not None:
+                    seen: Set[int] = set()
+                    for old_arg, new_arg in zip(args, canon_args):
+                        if old_arg != new_arg and new_arg not in seen:
+                            seen.add(new_arg)
+                            parents.setdefault(new_arg, []).append(nid)
 
     # -- helpers -------------------------------------------------------------
 
-    def _ensure_parents(self) -> Dict[int, Set[int]]:
-        if self._parents is None:
+    def _kill_node(self, nid: int) -> None:
+        """Unlink a congruent-twin duplicate from every live structure."""
+        self._node_alive[nid] = 0
+        root = self._uf.find(self._node_class[nid])
+        prv = self._nid_prev[nid]
+        nxt = self._nid_next[nid]
+        if prv != _NIL:
+            self._nid_next[prv] = nxt
+        else:
+            self._cls_head[root] = nxt
+        if nxt != _NIL:
+            self._nid_prev[nxt] = prv
+        else:
+            self._cls_tail[root] = prv
+        self._nid_next[nid] = _NIL
+        self._nid_prev[nid] = _NIL
+        op = self._node_key[nid].op
+        dead = self._op_dead.get(op, 0) + 1
+        bucket = self._op_nodes[op]
+        if 2 * dead > len(bucket):
+            alive = self._node_alive
+            bucket[:] = [x for x in bucket if alive[x]]
+            self._op_dead[op] = 0
+        else:
+            self._op_dead[op] = dead
+
+    def _ensure_parents(self) -> Dict[int, List[int]]:
+        parents = self._class_parents
+        if parents is None:
             find = self._uf.find
-            parents: Dict[int, Set[int]] = {}
-            for node, cid in self._hashcons.items():
+            parents = {}
+            for node, nid in self._hashcons.items():
                 for arg in set(node.args):
-                    parents.setdefault(find(arg), set()).add(cid)
-            self._parents = parents
-        return self._parents
+                    parents.setdefault(find(arg), []).append(nid)
+            self._class_parents = parents
+        return parents
 
     def _distinct_now(self, a: int, b: int) -> bool:
         find = self._uf.find
@@ -460,35 +640,56 @@ class EGraph:
         return ca is not None and cb is not None and ca != cb
 
     def _union(self, a: int, b: int) -> int:
-        ra, rb = self._uf.find(a), self._uf.find(b)
+        uf = self._uf
+        ra, rb = uf.find(a), uf.find(b)
         if ra == rb:
             return ra
         if self._distinct_now(ra, rb):
             raise InconsistentError(
                 "merge of classes c%d and c%d violates a distinction" % (ra, rb)
             )
-        if self._sorts[ra] != self._sorts[rb]:
+        if self._sort_col[ra] != self._sort_col[rb]:
             raise InconsistentError(
                 "merge of classes with different sorts (%s vs %s)"
-                % (self._sorts[ra].value, self._sorts[rb].value)
+                % (
+                    _SORT_LIST[self._sort_col[ra]].value,
+                    _SORT_LIST[self._sort_col[rb]].value,
+                )
             )
-        new_root = self._uf.union(ra, rb)
+        # Parent lists must exist before the union: the losing root's
+        # list is what seeds the congruence-repair worklist.
+        parents = self._ensure_parents()
+        new_root = uf.union(ra, rb)
         old_root = rb if new_root == ra else ra
-        self._dead.add(old_root)
+        # Splice the losing class's node chain onto the winner — O(1).
+        old_head = self._cls_head[old_root]
+        if old_head != _NIL:
+            new_tail = self._cls_tail[new_root]
+            if new_tail == _NIL:
+                self._cls_head[new_root] = old_head
+            else:
+                self._nid_next[new_tail] = old_head
+                self._nid_prev[old_head] = new_tail
+            self._cls_tail[new_root] = self._cls_tail[old_root]
+            self._cls_head[old_root] = _NIL
+            self._cls_tail[old_root] = _NIL
+        self._n_classes -= 1
         dropped_const = self._consts.pop(old_root, None)
         if dropped_const is not None:
             self._consts[new_root] = dropped_const
         dropped_distinct = self._distinct.pop(old_root, None)
         if dropped_distinct:
             self._distinct.setdefault(new_root, set()).update(dropped_distinct)
-        del self._sorts[old_root]
-        # The node indexes go stale here; _union marks the graph dirty, so
-        # the next read re-derives them from the rebuilt hashcons.
-        if self._parents is not None:
-            dropped_parents = self._parents.pop(old_root, None)
-            if dropped_parents:
-                self._parents.setdefault(new_root, set()).update(dropped_parents)
-        self._dirty = True
+        dropped_parents = parents.pop(old_root, None)
+        if dropped_parents:
+            # Every node using the losing class as an argument now has a
+            # stale key: queue it for repair and move its parent record.
+            self._repair.extend(dropped_parents)
+            existing = parents.get(new_root)
+            if existing is None:
+                parents[new_root] = dropped_parents
+            else:
+                existing.extend(dropped_parents)
         self.version += 1
         self.merges += 1
         self._touch_log.append((self.version, new_root))
@@ -507,7 +708,7 @@ class EGraphSnapshot:
     Snapshots decouple the saturation cache from working graphs: the
     pipeline saturates once, snapshots the result, and every later
     compilation :meth:`restore`\\ s an independent working graph with one
-    flat copy per structure instead of re-running saturation or deep
+    flat copy per column instead of re-running saturation or deep
     per-class reconstruction.  The wrapped master is private and never
     mutated after construction.
     """

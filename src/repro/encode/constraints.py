@@ -35,7 +35,7 @@ cost thereby participates in the optimisation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.egraph.egraph import EGraph, ENode
 from repro.isa.spec import ArchSpec
@@ -505,11 +505,98 @@ class IncrementalEncoder:
                 ).append(node)
         self._stores = [n for n, _c in self.machine_terms if n.op == "store"]
 
+        # Flat per-block variable layout.  Every cycle block allocates the
+        # same variables in the same order — per machine term its F vars,
+        # then L, then A, then the B availability grid — so a variable's id
+        # is the block's base plus a constant 1-based offset.  The offsets,
+        # operand dependencies, producer spans and issue slots are all
+        # resolved here once; :meth:`_build_block` then runs on integer
+        # arithmetic alone, with no tuple-keyed dict lookups on hot paths.
+        clusters = spec.cluster_ids()
+        off = 0
+        f_off: Dict[Tuple[ENode, str], int] = {}
+        l_off_by_node: Dict[ENode, int] = {}
+        self._term_rows: List[tuple] = []
+        for node, cid in self.machine_terms:
+            units = spec.info(node.op).units
+            f_offs = []
+            for u in units:
+                off += 1
+                f_offs.append(off)
+                f_off[(node, u)] = off
+            l_off = off + 1
+            a_off = off + 2
+            off += 2
+            l_off_by_node[node] = l_off
+            if node.op == "ldiq":
+                arg_classes: List[int] = []
+            else:
+                arg_classes = [eg.find(a) for a in node.args]
+            deps = [a for a in arg_classes if a not in self.free]
+            if node in self.unsafe_terms:
+                guard = eg.find(self.unsafe_terms[node])
+                if guard not in self.free and guard not in deps:
+                    deps.append(guard)
+            self._term_rows.append(
+                (node, units, self.latency(node), f_offs, l_off, a_off, deps)
+            )
+        self._b_off: Dict[Tuple[int, str], int] = {}
+        for q in self.needs_avail:
+            for c in clusters:
+                off += 1
+                self._b_off[(q, c)] = off
+        self._block_stride = off
+        # family-2: per unit of each term, the B offsets whose previous-cycle
+        # availability gates the launch (None when the term has no deps).
+        self._dep_rows: List[Optional[List[List[int]]]] = []
+        for node, units, _lat, _f_offs, _l, _a, deps in self._term_rows:
+            if not deps:
+                self._dep_rows.append(None)
+                continue
+            self._dep_rows.append(
+                [
+                    [self._b_off[(q, spec.clusters[u])] for q in deps]
+                    for u in units
+                ]
+            )
+        # family-3: per (class, cluster) B var, each producing launch's F
+        # offset and its span (latency - 1 + forwarding delay): at cycle i
+        # the supporting launches are blocks 0 .. i - span.
+        self._avail_rows: List[Tuple[int, List[Tuple[int, int]]]] = []
+        for q in self.needs_avail:
+            prods = self._producers.get(q, ())
+            for c in clusters:
+                spans = [
+                    (
+                        f_off[(node, u)],
+                        self.latency(node) - 1 + spec.result_delay(u, c),
+                    )
+                    for node, u in prods
+                ]
+                self._avail_rows.append((self._b_off[(q, c)], spans))
+        # family-4: per issue slot, the F offsets competing for it.
+        slot_offs: Dict[str, List[int]] = {}
+        for node, units, _lat, f_offs, _l, _a, _deps in self._term_rows:
+            for u, f in zip(units, f_offs):
+                slot_offs.setdefault(u, []).append(f)
+        self._slot_offs = list(slot_offs.values())
+        # family-6: per (store, aliasing load) pair, the store's F offsets,
+        # the load's latency and its L offset.
+        self._mem_rows: List[Tuple[List[int], int, int]] = []
+        for snode in self._stores:
+            mem_class = eg.find(snode.args[0])
+            s_offs = [f_off[(snode, u)] for u in spec.info(snode.op).units]
+            for lnode in self._loads_by_mem.get(mem_class, ()):
+                self._mem_rows.append(
+                    (s_offs, self.latency(lnode), l_off_by_node[lnode])
+                )
+
         # Prefix state: the master CNF grows monotonically, one cycle block
         # at a time; per-block end markers let budget views slice it.
         self._master = CNF()
         self._launch_vars: Dict[Tuple[int, ENode, str], int] = {}
         self._avail_vars: Dict[Tuple[int, int, int], int] = {}
+        self._block_base: List[int] = []
         self._built = 0
         self._var_end = [0]
         self._clause_end = [0]
@@ -527,93 +614,84 @@ class IncrementalEncoder:
     # -- per-cycle blocks ----------------------------------------------------
 
     def _build_block(self, i: int) -> None:
-        eg, spec, cnf = self.eg, self.spec, self._master
-        clusters = spec.cluster_ids()
+        cnf = self._master
+        base = cnf.num_vars
+        bases = self._block_base
+        bases.append(base)
+        # Variables of cycle i: F/L/A per machine term, then B per class —
+        # the constant layout resolved in __init__, claimed in one bump.
+        cnf.num_vars = base + self._block_stride
+        # Every clause below is built from just-allocated offsets: literals
+        # are valid by construction and reference pairwise-distinct
+        # variables (offsets are unique within a block, blocks occupy
+        # disjoint id ranges), so the builder's validation and tautology
+        # checks are skipped and clauses append straight to the list.
+        app = cnf.clauses.append
 
-        # Variables of cycle i: F/L/A per machine term, then B per class.
-        for node, _cid in self.machine_terms:
-            for u in spec.info(node.op).units:
-                self._launch_vars[(i, node, u)] = cnf.new_var(("F", i, node, u))
-            cnf.new_var(("L", i, node))
-            cnf.new_var(("A", i, node))
-        for cid in self.needs_avail:
-            for c in clusters:
-                self._avail_vars[(i, cid, c)] = cnf.new_var(("B", i, cid, c))
+        launch_vars, avail_vars = self._launch_vars, self._avail_vars
+        for node, units, _lat, f_offs, _l, _a, _deps in self._term_rows:
+            for u, f in zip(units, f_offs):
+                launch_vars[(i, node, u)] = base + f
+        for (q, c), off in self._b_off.items():
+            avail_vars[(i, q, c)] = base + off
 
-        for node, cid in self.machine_terms:
-            info = spec.info(node.op)
+        prev_base = bases[i - 1] if i else 0
+        for row, dep_offs in zip(self._term_rows, self._dep_rows):
+            _node, _units, lat, f_offs, l_off, a_off, _deps = row
             # family 0: L is the disjunction of the per-unit launches.
-            lvar = cnf.var(("L", i, node))
-            cnf.iff_or(
-                lvar, [self._launch_vars[(i, node, u)] for u in info.units]
-            )
+            lvar = base + l_off
+            app([-lvar] + [base + f for f in f_offs])
+            for f in f_offs:
+                app([-(base + f), lvar])
             # family 1: latency linking A(i,T) == L(i - lat + 1, T).
-            lat = self.latency(node)
-            avar = cnf.var(("A", i, node))
+            avar = base + a_off
             j = i - lat + 1
             if j < 0:
-                cnf.add(-avar)
+                app([-avar])
             else:
-                prev = cnf.var(("L", j, node))
-                cnf.implies(avar, prev)
-                cnf.implies(prev, avar)
+                prev = bases[j] + l_off
+                app([-avar, prev])
+                app([-prev, avar])
             # family 2: operand availability.
-            arg_classes = (
-                [] if node.op == "ldiq" else [eg.find(a) for a in node.args]
-            )
-            deps = [a for a in arg_classes if a not in self.free]
-            if node in self.unsafe_terms:
-                guard = eg.find(self.unsafe_terms[node])
-                if guard not in self.free and guard not in deps:
-                    deps.append(guard)
-            if deps:
-                for u in info.units:
-                    fvar = self._launch_vars[(i, node, u)]
-                    cluster = spec.clusters[u]
-                    for q in deps:
-                        if i == 0:
-                            cnf.add(-fvar)
-                            break
-                        cnf.implies(fvar, self._avail_vars[(i - 1, q, cluster)])
+            if dep_offs is not None:
+                if i == 0:
+                    for f in f_offs:
+                        app([-(base + f)])
+                else:
+                    for f, boffs in zip(f_offs, dep_offs):
+                        fvar = base + f
+                        for boff in boffs:
+                            app([-fvar, prev_base + boff])
 
         # family 3: availability definition B(i,Q,c) => some launch.
-        for cid in self.needs_avail:
-            for c in clusters:
-                bvar = self._avail_vars[(i, cid, c)]
-                supports: List[int] = []
-                for node, u in self._producers.get(cid, ()):
-                    j_max = i - self.latency(node) + 1 - spec.result_delay(u, c)
-                    for j in range(0, j_max + 1):
-                        supports.append(self._launch_vars[(j, node, u)])
-                cnf.implies_or(bvar, supports)
-                if self.options.strict_availability:
-                    for s in supports:
-                        cnf.add(-s, bvar)
+        strict = self.options.strict_availability
+        for boff, spans in self._avail_rows:
+            bvar = base + boff
+            supports = [-bvar]
+            sup_append = supports.append
+            for foff, span in spans:
+                for j in range(i - span + 1):
+                    sup_append(bases[j] + foff)
+            app(supports)
+            if strict:
+                for s in supports[1:]:
+                    app([-s, bvar])
 
         # family 4: issue rules (one launch per unit per cycle).
-        per_slot: Dict[str, List[int]] = {}
-        for node, _cid in self.machine_terms:
-            for u in spec.info(node.op).units:
-                per_slot.setdefault(u, []).append(
-                    self._launch_vars[(i, node, u)]
-                )
-        for slot_vars in per_slot.values():
-            cnf.at_most_one(slot_vars)
+        for offs in self._slot_offs:
+            cnf.at_most_one([base + f for f in offs])
 
         # family 6: memory anti-dependences.  The full set for budget K is
         # all (store cycle s, load cycle j) pairs with j >= s - llat + 1 and
         # s, j < K; the pairs whose max is i belong to this block.
-        for snode in self._stores:
-            mem_class = eg.find(snode.args[0])
-            sinfo = spec.info(snode.op)
-            for lnode in self._loads_by_mem.get(mem_class, ()):
-                llat = self.latency(lnode)
-                pairs = [(i, j) for j in range(max(0, i - llat + 1), i + 1)]
-                pairs += [(s, i) for s in range(0, i)]
-                for s, j in pairs:
-                    lvar = cnf.var(("L", j, lnode))
-                    for u in sinfo.units:
-                        cnf.add(-self._launch_vars[(s, snode, u)], -lvar)
+        for s_offs, llat, load_l_off in self._mem_rows:
+            pairs = [(i, j) for j in range(max(0, i - llat + 1), i + 1)]
+            pairs += [(s, i) for s in range(0, i)]
+            for s, j in pairs:
+                lvar = bases[j] + load_l_off
+                s_base = bases[s]
+                for f in s_offs:
+                    app([-(s_base + f), -lvar])
 
         self._built = i + 1
         self._var_end.append(cnf.num_vars)
@@ -723,12 +801,11 @@ class IncrementalEncoder:
                 [self._avail_vars[(cycles - 1, g, c)] for c in clusters]
             )
         if self.options.launch_at_most_once:
-            per_term: Dict[ENode, List[int]] = {}
-            for (i, node, u), var in self._launch_vars.items():
-                if i < cycles:
-                    per_term.setdefault(node, []).append(var)
-            for term_vars in per_term.values():
-                m.at_most_one(term_vars)
+            bases = self._block_base
+            for _node, _units, _lat, f_offs, _l, _a, _deps in self._term_rows:
+                m.at_most_one(
+                    [bases[i] + f for i in range(cycles) for f in f_offs]
+                )
         emitted = m.clauses[start:]
         del m.clauses[start:]
         gated = sanitize_clauses(

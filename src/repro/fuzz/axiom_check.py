@@ -25,7 +25,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.axioms.axiom import (
     Axiom,
-    AxiomClause,
     AxiomDistinction,
     AxiomEquality,
     AxiomSet,

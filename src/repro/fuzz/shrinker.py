@@ -21,9 +21,9 @@ run happens once per distinct candidate.
 from __future__ import annotations
 
 import copy
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Tuple
 
-from repro.axioms.sexpr import SExpr, render_sexpr
+from repro.axioms.sexpr import SExpr
 from repro.fuzz.generator import FuzzCase
 
 Path = Tuple[int, ...]

@@ -14,7 +14,7 @@ never released.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 
 class AllocationError(Exception):

@@ -9,7 +9,7 @@ The extractor prints the resulting "Register Map" comment of Figure 4.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 ARG_REGISTERS = ["$16", "$17", "$18", "$19", "$20", "$21"]
 # Inputs beyond the six argument registers spill into callee-saved

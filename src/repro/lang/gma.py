@@ -11,11 +11,11 @@ After translation every target is either a register name or the memory
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.terms.evaluator import Evaluator
-from repro.terms.ops import OperatorRegistry, Sort
+from repro.terms.ops import OperatorRegistry
 from repro.terms.term import Term
 
 

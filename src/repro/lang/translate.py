@@ -17,7 +17,6 @@ iteration group).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.axioms.sexpr import render_sexpr
@@ -25,7 +24,6 @@ from repro.lang.ast import (
     Assign,
     DoLoop,
     Expr,
-    LangError,
     Procedure,
     Semi,
     Statement,

@@ -27,7 +27,7 @@ from functools import lru_cache
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.axioms.axiom import Pattern
-from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.egraph import EGraph
 
 Subst = Dict[str, int]
 
@@ -92,20 +92,26 @@ def compile_trigger(pattern: Pattern) -> CompiledTrigger:
 def run_compiled(
     eg: EGraph,
     trigger: CompiledTrigger,
-    seeds: Sequence[Tuple[ENode, int]],
+    seeds: Sequence[int],
     limit: Optional[int] = None,
 ) -> List[Subst]:
     """All substitutions matching ``trigger`` rooted at the ``seeds`` nodes.
 
-    ``seeds`` are (enode, class root) candidates carrying the trigger's
-    head operator; nodes of a different arity are skipped.  Results are
+    ``seeds`` are node ids of candidates carrying the trigger's head
+    operator; nodes of a different arity are skipped.  Results are
     materialised eagerly — callers may mutate the graph only after this
     returns.  With ``limit``, at most that many substitutions are built.
+
+    The scan runs on the graph's flat columns (:meth:`EGraph.flat_view`):
+    an ENTER choice point is a pointer walk down the class's node chain,
+    and argument classes come straight off the canonical keys — after
+    the rebuild the view performs, no per-read ``find`` is needed.
     """
-    eg.rebuild()
-    index = eg.class_index()
-    find = eg.find
-    const_of = eg.const_of
+    view = eg.flat_view()
+    node_key = view.node_key
+    nid_next = view.nid_next
+    cls_head = view.cls_head
+    consts = view.consts
     prog = trigger.prog
     n_ins = len(prog)
     var_slots = trigger.var_slots
@@ -123,22 +129,28 @@ def run_compiled(
         tag = ins[0]
         if tag == ENTER:
             _, slot, op, ar, arg_slots = ins
-            for node in index.get(slots[slot], ()):
-                if node.op == op and len(node.args) == ar:
-                    for arg_slot, arg in zip(arg_slots, node.args):
-                        slots[arg_slot] = find(arg)
+            nid = cls_head[slots[slot]]
+            while nid != -1:
+                node = node_key[nid]
+                args = node.args
+                if node.op == op and len(args) == ar:
+                    for arg_slot, arg in zip(arg_slots, args):
+                        slots[arg_slot] = arg
                     if execute(pc + 1):
                         return True
+                nid = nid_next[nid]
             return False
         if tag == CONST:
-            return const_of(slots[ins[1]]) == ins[2] and execute(pc + 1)
+            return consts.get(slots[ins[1]]) == ins[2] and execute(pc + 1)
         return slots[ins[1]] == slots[ins[2]] and execute(pc + 1)
 
-    for node, _root in seeds:
-        if len(node.args) != arity:
+    for seed in seeds:
+        node = node_key[seed]
+        args = node.args
+        if len(args) != arity:
             continue
-        for slot, arg in zip(head_slots, node.args):
-            slots[slot] = find(arg)
+        for slot, arg in zip(head_slots, args):
+            slots[slot] = arg
         if execute(0):
             break
     return out

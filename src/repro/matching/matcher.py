@@ -20,8 +20,8 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, NamedTuple, Optional, Set
 
 from repro.axioms.axiom import Pattern
-from repro.egraph.egraph import EGraph, ENode
-from repro.matching.compile import CompiledTrigger, compile_trigger, run_compiled
+from repro.egraph.egraph import EGraph
+from repro.matching.compile import compile_trigger, run_compiled
 from repro.terms.ops import OperatorRegistry, Sort
 
 Subst = Dict[str, int]
@@ -64,8 +64,9 @@ def ematch(
             yield base
         return
     trigger = compile_trigger(pattern)
+    node_key = eg.flat_view().node_key
     seeds = [
-        (node, root) for node in eg.enodes(root) if node.op == trigger.op
+        nid for nid in eg.class_nids(root) if node_key[nid].op == trigger.op
     ]
     for result in run_compiled(eg, trigger, seeds):
         if any(eg.find(base[v]) != result[v] for v in base if v in result):
@@ -87,7 +88,7 @@ def ematch_all(
     can match, and the E-graph indexes those directly.
     """
     trigger = compile_trigger(pattern)
-    return run_compiled(eg, trigger, eg.nodes_with_op(trigger.op), limit=limit)
+    return run_compiled(eg, trigger, eg.op_nids(trigger.op), limit=limit)
 
 
 def ematch_since(
@@ -108,8 +109,11 @@ def ematch_since(
     trigger = compile_trigger(pattern)
     if cone is None:
         cone = eg.dirty_cone(stamp)
-    bucket = eg.nodes_with_op(trigger.op)
-    seeds = [(node, root) for node, root in bucket if root in cone]
+    bucket = eg.op_nids(trigger.op)
+    view = eg.flat_view()
+    node_class = view.node_class
+    find = eg.find
+    seeds = [nid for nid in bucket if find(node_class[nid]) in cone]
     substs = run_compiled(eg, trigger, seeds, limit=limit)
     return MatchScan(
         substs=substs, scanned=len(seeds), pruned=len(bucket) - len(seeds)

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.axioms.axiom import (
     Axiom,
@@ -49,7 +49,6 @@ from repro.egraph.egraph import EGraph, InconsistentError
 from repro.matching.compile import compile_trigger
 from repro.matching.matcher import Subst, ematch_all, ematch_since, instantiate
 from repro.terms.ops import OperatorRegistry, Sort, default_registry
-from repro.terms.values import Memory
 
 
 @dataclass
@@ -247,19 +246,19 @@ class SaturationEngine:
                 if len(self._cone) > self._CONE_OPS_LIMIT:
                     self._cone_ops = None
                 else:
-                    index = eg.class_index()
+                    add_op = self._cone_ops.add
                     for root in fresh:
-                        for node in index.get(root, ()):
-                            self._cone_ops.add(node.op)
+                        for node in eg.enodes(root):
+                            add_op(node.op)
         else:
             cone = eg.dirty_cone(since)
             ops: Optional[Set[str]] = None
             if len(cone) <= self._CONE_OPS_LIMIT:
-                index = eg.class_index()
                 ops = set()
+                add_op = ops.add
                 for root in cone:
-                    for node in index.get(root, ()):
-                        ops.add(node.op)
+                    for node in eg.enodes(root):
+                        add_op(node.op)
             self._cone = cone
             self._cone_ops = ops
         self._cone_epoch = epoch

@@ -62,23 +62,64 @@ class CNF:
 
     def add(self, *lits: Lit) -> None:
         """Add one clause (a disjunction of literals)."""
+        n = len(lits)
+        if n == 2:
+            # The binary-clause fast path: the structured helpers
+            # (implication, pairwise at-most-one, the sequential ladder)
+            # emit two-literal clauses almost exclusively, so the dedup
+            # and tautology checks collapse to two comparisons.
+            a, b = lits
+            nv = self.num_vars
+            if (
+                a.__class__ is int
+                and b.__class__ is int
+                and a != 0
+                and b != 0
+                and -nv <= a <= nv
+                and -nv <= b <= nv
+            ):
+                if a != -b:
+                    self.clauses.append([a] if a == b else [a, b])
+                return
         self.add_clause(lits)
 
+    def _check_literal(self, lit: Lit) -> None:
+        """Slow-path validation, matching the historical error precedence."""
+        if not isinstance(lit, int) or lit == 0:
+            raise ValueError("invalid literal %r" % (lit,))
+        if abs(lit) > self.num_vars:
+            raise ValueError(
+                "literal %d references unallocated variable" % lit
+            )
+
     def add_clause(self, lits: Iterable[Lit]) -> None:
-        clause = []
-        seen = set()
-        for lit in lits:
-            if not isinstance(lit, int) or lit == 0:
-                raise ValueError("invalid literal %r" % (lit,))
-            if abs(lit) > self.num_vars:
-                raise ValueError(
-                    "literal %d references unallocated variable" % lit
-                )
-            if -lit in seen:
+        clause = list(lits)
+        nv = self.num_vars
+        for lit in clause:
+            # One class test plus two comparisons in the common case;
+            # anything unusual (bool, wrong type, zero, out of range)
+            # drops to the precise validator.
+            if lit.__class__ is int and lit != 0 and -nv <= lit <= nv:
+                continue
+            self._check_literal(lit)
+        n = len(clause)
+        if n <= 1:
+            self.clauses.append(clause)
+            return
+        if n == 2:
+            a, b = clause
+            if a == -b:
                 return  # tautology; drop silently
-            if lit not in seen:
-                seen.add(lit)
-                clause.append(lit)
+            self.clauses.append([a] if a == b else clause)
+            return
+        seen = set(clause)
+        if not seen.isdisjoint(-l for l in seen):
+            return  # tautology; drop silently
+        if len(seen) < n:
+            # Duplicates: keep first occurrences, preserving order.
+            kept: set = set()
+            add = kept.add
+            clause = [l for l in clause if not (l in kept or add(l))]
         self.clauses.append(clause)
 
     # -- structured constraints ---------------------------------------------
@@ -113,19 +154,33 @@ class CNF:
         n = len(lits)
         if n <= 1:
             return
+        # Validate once up front, then append pairs directly — the
+        # per-pair ``add`` call dominated the encoder's budget emission.
+        nv = self.num_vars
+        for lit in lits:
+            if lit.__class__ is int and lit != 0 and -nv <= lit <= nv:
+                continue
+            self._check_literal(lit)
+        app = self.clauses.append
         if n <= 6:
             for i in range(n):
+                a = -lits[i]
                 for j in range(i + 1, n):
-                    self.add(-lits[i], -lits[j])
+                    b = -lits[j]
+                    if a != -b:  # duplicate input literal: not a constraint
+                        app([a] if a == b else [a, b])
             return
         # Sinz's sequential encoding: s_i means "one of lits[0..i] is true".
+        # The s_i are fresh (> |l| for every input literal), so no pair
+        # below can be tautological or need collapsing.
         s = [self.new_var() for _ in range(n - 1)]
-        self.add(-lits[0], s[0])
+        app([-lits[0], s[0]])
         for i in range(1, n - 1):
-            self.add(-lits[i], s[i])
-            self.add(-s[i - 1], s[i])
-            self.add(-lits[i], -s[i - 1])
-        self.add(-lits[n - 1], -s[n - 2])
+            neg = -lits[i]
+            app([neg, s[i]])
+            app([-s[i - 1], s[i]])
+            app([neg, -s[i - 1]])
+        app([-lits[n - 1], -s[n - 2]])
 
     def exactly_one(self, lits: Sequence[Lit]) -> None:
         lits = list(lits)

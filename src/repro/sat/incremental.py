@@ -90,6 +90,11 @@ class IncrementalSolver:
         """Learned clauses currently retained in the database."""
         return len(self._core._learnts)
 
+    def flat_counters(self) -> Dict[str, int]:
+        """The core's flat-arena telemetry (see ``_SolverCore.flat_counters``)."""
+        with self._lock:
+            return self._core.flat_counters()
+
     def ensure_vars(self, num_vars: int) -> None:
         """Grow the variable space to at least ``num_vars``."""
         with self._lock:
@@ -182,15 +187,30 @@ class IncrementalSolver:
         from earlier runs were live when this run began — the ladder's
         clause-reuse signal.
 
-        ``canonical_model=True`` follows a satisfiable verdict with a
-        second run in the core's canonical (lexicographic) decision mode
-        and returns that model: the unique lex-least model of the
-        formula under the assumptions, unaffected by the heuristic state
-        this solver carried in from earlier probes.  That is what makes
-        the decoded assembly byte-identical to the from-scratch path's.
+        ``canonical_model=True`` answers with the unique lex-least model
+        of the formula under the assumptions, unaffected by the heuristic
+        state this solver carried in from earlier probes.  That is what
+        makes the decoded assembly byte-identical to the from-scratch
+        path's.  The canonical (lexicographic) decision mode runs
+        *first*: a satisfiable canonical run already is the answer, and
+        an unsatisfiable one is a proof like any other — either way the
+        heuristic search that used to precede the canonical rerun is
+        skipped entirely.  Only an inconclusive canonical run (conflict
+        budget, deadline or cancellation) falls back to the historical
+        heuristic-then-canonical sequence.
         """
         with self._lock:
             self.solves += 1
+            if canonical_model:
+                canon = self._core.run(
+                    assumptions,
+                    conflict_budget=conflict_budget,
+                    deadline_seconds=deadline_seconds,
+                    stop_check=stop_check,
+                    canonical=True,
+                )
+                if canon.satisfiable is not None:
+                    return canon
             res = self._core.run(
                 assumptions,
                 conflict_budget=conflict_budget,

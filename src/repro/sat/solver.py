@@ -17,6 +17,17 @@ literals, learned clauses, VSIDS activities, saved phases) survives across
 ``run`` calls.  :class:`CdclSolver` is the historical one-shot facade — a
 fresh core per ``solve`` — while :class:`repro.sat.incremental.IncrementalSolver`
 keeps one core alive across a whole cycle-budget probe ladder.
+
+Memory layout (see DESIGN.md §2.6): clauses live in a single flat int
+arena rather than per-clause objects.  A clause is referenced by the
+arena offset of its header word ``size << 1 | learnt``; its literals
+occupy the following ``size`` slots.  Watch lists hold arena refs,
+literal assignments live in a per-literal ``bytearray`` (one indexed
+load answers "value of literal l" with no sign branch on the stored
+side), and trail/level/reason/activity/phase are parallel columns
+indexed by variable.  Deleted clauses leave garbage slots behind;
+:meth:`_SolverCore._compact_arena` squeezes them out and remaps every
+live ref once garbage dominates.
 """
 
 from __future__ import annotations
@@ -27,8 +38,21 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.sat.cnf import CNF
+from repro.util.soa import LIST_SLOT_BYTES, grow
 
 _UNASSIGNED = -1
+
+# Per-literal truth values in the ``_vals`` column.  Literal l maps to
+# slot ``2*l`` when positive, ``1 - 2*l`` when negative, so a literal's
+# value is one indexed byte load.  The complementary literal lives in
+# the adjacent slot.
+_L_FALSE = 0
+_L_TRUE = 1
+_L_UNDEF = 2
+
+# Reason column sentinel: no antecedent clause (decision / assumption /
+# root unit).  Arena refs are >= 0.
+_NO_REASON = -1
 
 
 @dataclass
@@ -101,16 +125,6 @@ def _luby(i: int) -> int:
     return 1 << seq
 
 
-class _Clause:
-    __slots__ = ("lits", "learnt", "activity", "lbd")
-
-    def __init__(self, lits: List[int], learnt: bool = False, lbd: int = 0):
-        self.lits = lits
-        self.learnt = learnt
-        self.activity = 0.0
-        self.lbd = lbd
-
-
 class _SolverCore:
     """Persistent CDCL state plus the inference engine.
 
@@ -120,9 +134,16 @@ class _SolverCore:
     :meth:`add_clause` calls) starts from everything earlier runs proved.
     Clauses may only be added at the root level, which :meth:`run`
     guarantees on exit.
+
+    Clause storage is the flat arena described in the module docstring;
+    ``_clauses`` and ``_learnts`` are lists of arena refs, and learnt
+    metadata (activity, LBD) lives in ref-keyed side tables.
     """
 
     _STOP_CHECK_INTERVAL = 32  # conflicts/decisions between stop polls
+    # Compact the arena once deleted clauses own more slots than live
+    # ones (and enough slots exist for the sweep to matter at all).
+    _COMPACT_MIN_GARBAGE = 4096
 
     def __init__(
         self,
@@ -137,22 +158,34 @@ class _SolverCore:
         self.max_learnts_factor = max_learnts_factor
 
         self._nvars = 0
-        self._assign: List[int] = [_UNASSIGNED]
+        # Per-literal truth values; slots 0/1 are the unused variable 0.
+        self._vals = bytearray((_L_UNDEF, _L_UNDEF))
         self._level: List[int] = [0]
-        self._reason: List[Optional[_Clause]] = [None]
+        self._reason: List[int] = [_NO_REASON]
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._qhead = 0
-        # watches[lit_index(l)] = clauses watching literal l
-        self._watches: List[List[_Clause]] = [[], []]
-        self._clauses: List[_Clause] = []
-        self._learnts: List[_Clause] = []
+        # watches[lit_index(l)] = arena refs of clauses watching literal l
+        self._watches: List[List[int]] = [[], []]
+        # The clause arena: header word (size<<1 | learnt) then literals.
+        self._arena: List[int] = []
+        self._clauses: List[int] = []
+        self._learnts: List[int] = []
+        self._cla_act: Dict[int, float] = {}
+        self._cla_lbd: Dict[int, int] = {}
+        self._garbage = 0  # arena slots owned by deleted clauses
+        # Flat-core telemetry (cumulative over the core's lifetime).
+        self.watch_compactions = 0  # watcher entries squeezed out in place
+        self.arena_compactions = 0  # full arena sweeps performed
         self._activity: List[float] = [0.0]
         self._var_inc = 1.0
         self._cla_inc = 1.0
-        self._phase: List[bool] = [False]
+        self._phase = bytearray(1)
         # Lazy max-heap over (-activity, var); stale entries are skipped.
         self._heap: List[tuple] = []
+        # Canonical backtracks skip heap maintenance; the next heuristic
+        # decision rebuilds the heap wholesale when this is set.
+        self._heap_stale = False
         self._stats = Stats()
         self._assumptions: List[int] = []
         self._assumptions_done: List[int] = []
@@ -178,15 +211,34 @@ class _SolverCore:
             return
         fresh = range(self._nvars + 1, num_vars + 1)
         pad = num_vars - self._nvars
-        self._assign.extend([_UNASSIGNED] * pad)
-        self._level.extend([0] * pad)
-        self._reason.extend([None] * pad)
-        self._activity.extend([0.0] * pad)
-        self._phase.extend([False] * pad)
-        self._watches.extend([] for _ in range(2 * pad))
-        for v in fresh:
-            heapq.heappush(self._heap, (-0.0, v))
+        grow(self._vals, 2 * pad, _L_UNDEF)
+        grow(self._level, pad, 0)
+        grow(self._reason, pad, _NO_REASON)
+        grow(self._activity, pad, 0.0)
+        grow(self._phase, pad, 0)
+        self._watches.extend([[] for _ in range(2 * pad)])
+        # Ascending (-0.0, v) entries form a valid heap on their own; a
+        # non-empty heap needs one O(n) re-heapify rather than per-var
+        # pushes.  Pop order is unaffected either way: entries are unique,
+        # so the (activity, var) total order fixes the pop sequence.
+        had = bool(self._heap)
+        self._heap.extend([(-0.0, v) for v in fresh])
+        if had:
+            heapq.heapify(self._heap)
         self._nvars = num_vars
+
+    def arena_bytes(self) -> int:
+        """Approximate bytes held by the clause arena (telemetry)."""
+        return LIST_SLOT_BYTES * len(self._arena)
+
+    def flat_counters(self) -> Dict[str, int]:
+        """Cumulative flat-core telemetry for the profiling harness."""
+        return {
+            "arena_bytes": self.arena_bytes(),
+            "arena_garbage_slots": self._garbage,
+            "arena_compactions": self.arena_compactions,
+            "watch_compactions": self.watch_compactions,
+        }
 
     # -- public API ---------------------------------------------------------
 
@@ -266,8 +318,14 @@ class _SolverCore:
             1000, int(self.max_learnts_factor * len(self._clauses))
         )
 
+        # A conflict found inside the fused canonical sweep is handed to
+        # the generic conflict handler through this slot.
+        pending = None
         while True:
-            conflict = self._propagate()
+            conflict = pending
+            pending = None
+            if conflict is None:
+                conflict = self._propagate()
             if conflict is not None:
                 stats.conflicts += 1
                 conflicts_at_restart += 1
@@ -303,35 +361,186 @@ class _SolverCore:
 
             lit = self._next_assumption()
             if lit is None:
-                if (
-                    stats.decisions % self._STOP_CHECK_INTERVAL == 0
-                    and self._should_stop(start, deadline_seconds, stop_check)
-                ):
-                    return SatResult(None, None, stats)
-                lit = self._decide()
+                if self._canonical:
+                    sweep = self._canonical_sweep(
+                        start, deadline_seconds, stop_check
+                    )
+                    if sweep == -1:
+                        return SatResult(None, None, stats)
+                    if sweep is not None:
+                        pending = sweep
+                        continue
+                else:
+                    if (
+                        stats.decisions % self._STOP_CHECK_INTERVAL == 0
+                        and self._should_stop(
+                            start, deadline_seconds, stop_check
+                        )
+                    ):
+                        return SatResult(None, None, stats)
+                    lit = self._decide()
             if lit is None:
+                vals = self._vals
                 model = {
-                    v: self._assign[v] == 1
+                    v: vals[2 * v] == _L_TRUE
                     for v in range(1, self._nvars + 1)
                 }
                 return SatResult(True, model, stats)
             if lit is False:  # conflicting assumptions
                 return SatResult(False, None, stats)
 
+    def _canonical_sweep(
+        self,
+        start: float,
+        deadline_seconds: Optional[float],
+        stop_check: Optional[Callable[[], bool]],
+    ) -> Optional[int]:
+        """Fused decide/propagate loop for canonical (lex-least) runs.
+
+        A canonical run decides *every* unassigned variable in index
+        order (false first) and is conflict-free in the common case, so
+        the generic loop's per-decision overhead — assumption lookup,
+        restart and clause-DB bookkeeping, two method calls — dominates
+        its runtime.  This loop inlines the rover decision and calls
+        straight into ``_propagate``, exiting back to the generic loop
+        on the first conflict (returns the clause ref), when every
+        variable is assigned (returns None — the model is complete), or
+        when a stop/deadline fires (returns -1, never a valid ref).
+        """
+        vals = self._vals
+        arena = self._arena
+        watches = self._watches
+        trail = self._trail
+        trail_lim = self._trail_lim
+        level = self._level
+        reason = self._reason
+        stats = self._stats
+        nvars = self._nvars
+        interval = self._STOP_CHECK_INTERVAL
+        decisions = 0
+        props = 0
+        compacted = 0
+        qhead = self._qhead
+        v = self._rover
+        try:
+            while True:
+                while v <= nvars and vals[2 * v] != _L_UNDEF:
+                    v += 1
+                if v > nvars:
+                    return None
+                decisions += 1
+                trail_lim.append(len(trail))
+                dl = len(trail_lim)
+                p = 2 * v
+                vals[p] = _L_FALSE
+                vals[p + 1] = _L_TRUE
+                level[v] = dl
+                reason[v] = _NO_REASON
+                trail.append(-v)
+                # Unit propagation, inlined — a transcript of
+                # ``_propagate`` (the reference implementation; keep the
+                # two in lockstep).  The call-per-decision overhead is
+                # what this loop exists to remove.
+                while qhead < len(trail):
+                    lit = trail[qhead]
+                    qhead += 1
+                    props += 1
+                    false_lit = -lit
+                    watchers = watches[
+                        2 * false_lit if false_lit > 0 else 1 - 2 * false_lit
+                    ]
+                    i = 0
+                    j = 0
+                    n = len(watchers)
+                    while i < n:
+                        ref = watchers[i]
+                        i += 1
+                        l0 = arena[ref + 1]
+                        if l0 == false_lit:
+                            l0 = arena[ref + 2]
+                            arena[ref + 1] = l0
+                            arena[ref + 2] = false_lit
+                        v0 = vals[2 * l0 if l0 > 0 else 1 - 2 * l0]
+                        if v0 == 1:
+                            watchers[j] = ref
+                            j += 1
+                            continue
+                        end = ref + (arena[ref] >> 1)
+                        k = ref + 3
+                        found = False
+                        while k <= end:
+                            lk = arena[k]
+                            if vals[2 * lk if lk > 0 else 1 - 2 * lk] != 0:
+                                arena[ref + 2] = lk
+                                arena[k] = false_lit
+                                watches[
+                                    2 * lk if lk > 0 else 1 - 2 * lk
+                                ].append(ref)
+                                found = True
+                                break
+                            k += 1
+                        if found:
+                            continue
+                        watchers[j] = ref
+                        j += 1
+                        if v0 == 0:
+                            while i < n:
+                                watchers[j] = watchers[i]
+                                j += 1
+                                i += 1
+                            del watchers[j:]
+                            compacted += n - j
+                            return ref
+                        u = l0 if l0 > 0 else -l0
+                        p = 2 * u
+                        if l0 > 0:
+                            vals[p] = 1
+                            vals[p + 1] = 0
+                        else:
+                            vals[p] = 0
+                            vals[p + 1] = 1
+                        level[u] = dl
+                        reason[u] = ref
+                        trail.append(l0)
+                    del watchers[j:]
+                    compacted += n - j
+                if decisions % interval == 0 and self._should_stop(
+                    start, deadline_seconds, stop_check
+                ):
+                    return -1
+        finally:
+            self._rover = v
+            self._qhead = qhead
+            stats.decisions += decisions
+            stats.propagations += props
+            self.watch_compactions += compacted
+
     @staticmethod
     def _widx(lit: int) -> int:
-        v = abs(lit)
-        return 2 * v + (0 if lit > 0 else 1)
+        """Slot of literal ``lit`` in the per-literal columns."""
+        return 2 * lit if lit > 0 else 1 - 2 * lit
 
     def _value(self, lit: int) -> int:
         """1 true, 0 false, -1 unassigned — of a literal."""
-        a = self._assign[abs(lit)]
-        if a == _UNASSIGNED:
-            return _UNASSIGNED
-        return a if lit > 0 else 1 - a
+        val = self._vals[2 * lit if lit > 0 else 1 - 2 * lit]
+        return _UNASSIGNED if val == _L_UNDEF else val
 
     def _decision_level(self) -> int:
         return len(self._trail_lim)
+
+    def clause_lits(self, ref: int) -> List[int]:
+        """The literal list of the clause at arena ref ``ref`` (a copy)."""
+        arena = self._arena
+        size = arena[ref] >> 1
+        return arena[ref + 1:ref + 1 + size]
+
+    def _alloc(self, lits: Sequence[int], learnt: bool) -> int:
+        """Append a clause to the arena; returns its ref."""
+        arena = self._arena
+        ref = len(arena)
+        arena.append(len(lits) << 1 | learnt)
+        arena.extend(lits)
+        return ref
 
     # -- clause management ---------------------------------------------------
 
@@ -371,95 +580,187 @@ class _SolverCore:
                 self._root_unsat = True
                 return False
             if val == _UNASSIGNED:
-                self._enqueue(lits[0], None)
+                self._enqueue(lits[0], _NO_REASON)
             return True
-        clause = _Clause(lits, learnt, lbd)
-        (self._learnts if learnt else self._clauses).append(clause)
-        self._watches[self._widx(lits[0])].append(clause)
-        self._watches[self._widx(lits[1])].append(clause)
+        ref = self._alloc(lits, learnt)
+        if learnt:
+            self._learnts.append(ref)
+            self._cla_act[ref] = 0.0
+            self._cla_lbd[ref] = lbd
+        else:
+            self._clauses.append(ref)
+        l0, l1 = lits[0], lits[1]
+        self._watches[2 * l0 if l0 > 0 else 1 - 2 * l0].append(ref)
+        self._watches[2 * l1 if l1 > 0 else 1 - 2 * l1].append(ref)
         return True
 
     def add_clauses_trusted(self, clauses: Sequence[List[int]]) -> bool:
-        """Bulk :meth:`add_clause` for pre-sanitised permanent clauses.
+        """Bulk clause feed for pre-sanitised permanent clauses.
 
         Feeding the encoder's master formula is the incremental path's
-        hot loop, so the per-clause root simplification is inlined here
-        (one pass instead of two, no method dispatch).  Semantics match
-        ``add_clause(lits, trusted=True)`` clause by clause.
+        hot loop.  Rather than rebuilding each clause with root-false
+        literals filtered out (a full scan per clause), clauses attach
+        verbatim and only the *watches* are chosen among non-false
+        literals — the two-watched-literal invariant is all that
+        soundness at the root level needs, and finding two watchable
+        literals stops the scan after (usually) two slots.  Root-satisfied
+        clauses with two watchable literals stay in the database inertly;
+        a clause with one watchable literal is unit under the root
+        assignment, with none it refutes the formula.
         """
-        assign = self._assign
+        vals = self._vals
         watches = self._watches
+        arena = self._arena
         perm = self._clauses
         ok = True
         for lits in clauses:
-            out: List[int] = []
-            satisfied = False
-            for l in lits:
-                a = assign[l if l > 0 else -l]
-                if a == _UNASSIGNED:
-                    out.append(l)
-                elif (a == 1) == (l > 0):
-                    satisfied = True
-                    break
-            if satisfied:
+            # Fast path: the first two literals are both watchable (the
+            # overwhelmingly common case for freshly allocated encoder
+            # blocks) — attach verbatim, no swaps.
+            if len(lits) > 1:
+                l0 = lits[0]
+                if vals[2 * l0 if l0 > 0 else 1 - 2 * l0] != _L_FALSE:
+                    l1 = lits[1]
+                    if vals[2 * l1 if l1 > 0 else 1 - 2 * l1] != _L_FALSE:
+                        ref = len(arena)
+                        arena.append(len(lits) << 1)
+                        arena.extend(lits)
+                        perm.append(ref)
+                        watches[2 * l0 if l0 > 0 else 1 - 2 * l0].append(ref)
+                        watches[2 * l1 if l1 > 0 else 1 - 2 * l1].append(ref)
+                        continue
+            w0 = w1 = -1
+            for k, l in enumerate(lits):
+                if vals[2 * l if l > 0 else 1 - 2 * l] != _L_FALSE:
+                    if w0 < 0:
+                        w0 = k
+                    else:
+                        w1 = k
+                        break
+            if w1 < 0:
+                if w0 < 0:
+                    self._root_unsat = True
+                    ok = False
+                    continue
+                l0 = lits[w0]
+                if vals[2 * l0 if l0 > 0 else 1 - 2 * l0] == _L_UNDEF:
+                    self._enqueue(l0, _NO_REASON)
                 continue
-            if not out:
-                self._root_unsat = True
-                ok = False
-                continue
-            if len(out) == 1:
-                self._enqueue(out[0], None)
-                continue
-            clause = _Clause(out, False, 0)
-            perm.append(clause)
-            l0, l1 = out[0], out[1]
-            watches[2 * l0 if l0 > 0 else 1 - 2 * l0].append(clause)
-            watches[2 * l1 if l1 > 0 else 1 - 2 * l1].append(clause)
+            ref = len(arena)
+            arena.append(len(lits) << 1)
+            arena.extend(lits)
+            # Swap the watchable literals into the two watched slots.
+            if w0 != 0:
+                p, q = ref + 1, ref + 1 + w0
+                arena[p], arena[q] = arena[q], arena[p]
+            if w1 != 1:
+                p, q = ref + 2, ref + 1 + w1
+                arena[p], arena[q] = arena[q], arena[p]
+            perm.append(ref)
+            l0 = arena[ref + 1]
+            l1 = arena[ref + 2]
+            watches[2 * l0 if l0 > 0 else 1 - 2 * l0].append(ref)
+            watches[2 * l1 if l1 > 0 else 1 - 2 * l1].append(ref)
         return ok
 
     def _learn(self, lits: List[int]) -> None:
         self._stats.learned += 1
         if len(lits) == 1:
-            self._enqueue(lits[0], None)
+            self._enqueue(lits[0], _NO_REASON)
             return
-        lbd = len({self._level[abs(l)] for l in lits})
-        clause = _Clause(lits, True, lbd)
-        clause.activity = self._cla_inc
-        self._learnts.append(clause)
-        self._watches[self._widx(lits[0])].append(clause)
-        self._watches[self._widx(lits[1])].append(clause)
-        self._enqueue(lits[0], clause)
+        level = self._level
+        lbd = len({level[l if l > 0 else -l] for l in lits})
+        ref = self._alloc(lits, True)
+        self._cla_act[ref] = self._cla_inc
+        self._cla_lbd[ref] = lbd
+        self._learnts.append(ref)
+        l0, l1 = lits[0], lits[1]
+        self._watches[2 * l0 if l0 > 0 else 1 - 2 * l0].append(ref)
+        self._watches[2 * l1 if l1 > 0 else 1 - 2 * l1].append(ref)
+        self._enqueue(l0, ref)
 
     def _reduce_db(self) -> None:
         """Drop the least active half of the learned clauses."""
-        self._learnts.sort(key=lambda c: (c.lbd, -c.activity))
+        act = self._cla_act
+        lbd = self._cla_lbd
+        self._learnts.sort(key=lambda r: (lbd[r], -act[r]))
         keep_count = len(self._learnts) // 2
-        locked = {self._reason[abs(l)] for l in self._trail}
+        locked = {self._reason[l if l > 0 else -l] for l in self._trail}
         keep, drop = [], []
-        for i, c in enumerate(self._learnts):
-            if i < keep_count or c in locked or c.lbd <= 2:
-                keep.append(c)
+        for i, ref in enumerate(self._learnts):
+            if i < keep_count or ref in locked or lbd[ref] <= 2:
+                keep.append(ref)
             else:
-                drop.append(c)
+                drop.append(ref)
         if not drop:
             return
         self._detach_learnts(drop)
         self._learnts = keep
         self._stats.deleted += len(drop)
+        self._maybe_compact()
 
-    def _detach_learnts(self, drop: List[_Clause]) -> None:
+    def _detach_learnts(self, drop: List[int]) -> None:
         """Remove the given learned clauses from every watch list."""
-        dropset = set(map(id, drop))
+        dropset = set(drop)
         for w in self._watches:
-            w[:] = [c for c in w if id(c) not in dropset]
+            if w:
+                w[:] = [r for r in w if r not in dropset]
+        # Each clause sits in exactly two watch lists.
+        self.watch_compactions += 2 * len(drop)
         # Reasons pointing at a dropped clause can only belong to root-level
         # assignments (run() always exits at level 0, and _reduce_db keeps
         # locked clauses); those assignments stay valid without the pointer.
+        reason = self._reason
         for lit in self._trail:
-            v = abs(lit)
-            reason = self._reason[v]
-            if reason is not None and id(reason) in dropset:
-                self._reason[v] = None
+            v = lit if lit > 0 else -lit
+            if reason[v] in dropset:
+                reason[v] = _NO_REASON
+        arena = self._arena
+        act = self._cla_act
+        lbd = self._cla_lbd
+        for ref in drop:
+            self._garbage += (arena[ref] >> 1) + 1
+            del act[ref]
+            del lbd[ref]
+
+    def _maybe_compact(self) -> None:
+        if (
+            self._garbage >= self._COMPACT_MIN_GARBAGE
+            and 2 * self._garbage > len(self._arena)
+        ):
+            self._compact_arena()
+
+    def _compact_arena(self) -> None:
+        """Squeeze deleted clauses out of the arena, remapping live refs.
+
+        Every structure holding refs — the clause lists, the watch
+        lists, reasons on the (root-level) trail and the learnt side
+        tables — is rewritten in place.  Only called between
+        propagations, when no transient refs are held.
+        """
+        old = self._arena
+        new: List[int] = []
+        remap: Dict[int, int] = {}
+        for refs in (self._clauses, self._learnts):
+            for i, ref in enumerate(refs):
+                nref = len(new)
+                remap[ref] = nref
+                new.extend(old[ref:ref + 1 + (old[ref] >> 1)])
+                refs[i] = nref
+        self._arena = new
+        for w in self._watches:
+            if w:
+                w[:] = [remap[r] for r in w]
+        reason = self._reason
+        for lit in self._trail:
+            v = lit if lit > 0 else -lit
+            r = reason[v]
+            if r >= 0:
+                reason[v] = remap[r]
+        self._cla_act = {remap[r]: a for r, a in self._cla_act.items()}
+        self._cla_lbd = {remap[r]: d for r, d in self._cla_lbd.items()}
+        self._garbage = 0
+        self.arena_compactions += 1
 
     def purge_learnts(self, predicate) -> int:
         """Drop every learned clause whose literal list matches ``predicate``.
@@ -469,21 +770,34 @@ class _SolverCore:
         every other budget.  Only call at the root level.  Returns the
         number of clauses dropped.
         """
-        drop = [c for c in self._learnts if predicate(c.lits)]
+        arena = self._arena
+        drop = [
+            ref
+            for ref in self._learnts
+            if predicate(arena[ref + 1:ref + 1 + (arena[ref] >> 1)])
+        ]
         if not drop:
             return 0
         self._detach_learnts(drop)
-        dropset = set(map(id, drop))
-        self._learnts = [c for c in self._learnts if id(c) not in dropset]
+        dropset = set(drop)
+        self._learnts = [r for r in self._learnts if r not in dropset]
         self._stats.deleted += len(drop)
+        self._maybe_compact()
         return len(drop)
 
     # -- trail ----------------------------------------------------------------
 
-    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
-        v = abs(lit)
-        self._assign[v] = 1 if lit > 0 else 0
-        self._level[v] = self._decision_level()
+    def _enqueue(self, lit: int, reason: int) -> None:
+        v = lit if lit > 0 else -lit
+        p = 2 * v
+        vals = self._vals
+        if lit > 0:
+            vals[p] = _L_TRUE
+            vals[p + 1] = _L_FALSE
+        else:
+            vals[p] = _L_FALSE
+            vals[p + 1] = _L_TRUE
+        self._level[v] = len(self._trail_lim)
         self._reason[v] = reason
         self._trail.append(lit)
 
@@ -491,134 +805,223 @@ class _SolverCore:
         if self._decision_level() <= level:
             return
         limit = self._trail_lim[level]
-        for lit in reversed(self._trail[limit:]):
-            v = abs(lit)
-            self._phase[v] = self._assign[v] == 1
-            self._assign[v] = _UNASSIGNED
-            self._reason[v] = None
-            if v < self._rover:
-                self._rover = v
-            heapq.heappush(self._heap, (-self._activity[v], v))
-        del self._trail[limit:]
+        trail = self._trail
+        vals = self._vals
+        phase = self._phase
+        reason = self._reason
+        rover = self._rover
+        if self._canonical:
+            # Canonical runs never consult the heap (decisions come from
+            # the index rover), so re-inserting every unwound variable is
+            # pure overhead — including the full-trail unwind when the
+            # run ends.  Mark the heap stale instead; the next heuristic
+            # decision rebuilds it from the live assignment, which yields
+            # the same accepted-pop order as incremental pushes would
+            # (each unassigned variable present at its current activity).
+            self._heap_stale = True
+            for idx in range(len(trail) - 1, limit - 1, -1):
+                lit = trail[idx]
+                v = lit if lit > 0 else -lit
+                p = 2 * v
+                phase[v] = vals[p] == _L_TRUE
+                vals[p] = _L_UNDEF
+                vals[p + 1] = _L_UNDEF
+                reason[v] = _NO_REASON
+                if v < rover:
+                    rover = v
+        else:
+            activity = self._activity
+            heap = self._heap
+            push = heapq.heappush
+            for idx in range(len(trail) - 1, limit - 1, -1):
+                lit = trail[idx]
+                v = lit if lit > 0 else -lit
+                p = 2 * v
+                phase[v] = vals[p] == _L_TRUE
+                vals[p] = _L_UNDEF
+                vals[p + 1] = _L_UNDEF
+                reason[v] = _NO_REASON
+                if v < rover:
+                    rover = v
+                push(heap, (-activity[v], v))
+        self._rover = rover
+        del trail[limit:]
         del self._trail_lim[level:]
-        self._qhead = min(self._qhead, len(self._trail))
+        self._qhead = min(self._qhead, len(trail))
         del self._assumptions_done[level:]
 
     # -- propagation ----------------------------------------------------------
 
-    def _propagate(self) -> Optional[_Clause]:
-        """Unit propagation; returns a conflicting clause or None."""
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
-            self._qhead += 1
-            self._stats.propagations += 1
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause ref or None.
+
+        This is the solver's hottest loop, so it works directly on the
+        flat columns: literal values are single byte loads, watched
+        literals are the two arena slots after the clause header, and
+        watcher lists are compacted in place as watches move.
+        """
+        vals = self._vals
+        arena = self._arena
+        watches = self._watches
+        trail = self._trail
+        reason = self._reason
+        level = self._level
+        stats = self._stats
+        qhead = self._qhead
+        dl = len(self._trail_lim)
+        compacted = 0
+        props = 0
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
+            props += 1
             false_lit = -lit
-            widx = self._widx(false_lit)
-            watchers = self._watches[widx]
+            watchers = watches[
+                2 * false_lit if false_lit > 0 else 1 - 2 * false_lit
+            ]
             i = 0
             j = 0
             n = len(watchers)
             while i < n:
-                clause = watchers[i]
+                ref = watchers[i]
                 i += 1
-                lits = clause.lits
-                # Normalise: watched literals are lits[0] and lits[1].
-                if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                if self._value(first) == 1:
-                    watchers[j] = clause
+                # Normalise: the watched literals are the slots ref+1 and
+                # ref+2, with the false literal moved to ref+2.
+                l0 = arena[ref + 1]
+                if l0 == false_lit:
+                    l0 = arena[ref + 2]
+                    arena[ref + 1] = l0
+                    arena[ref + 2] = false_lit
+                v0 = vals[2 * l0 if l0 > 0 else 1 - 2 * l0]
+                if v0 == 1:
+                    watchers[j] = ref
                     j += 1
                     continue
-                # Look for a new watch.
+                # Look for a new watch among the remaining literals.
+                end = ref + (arena[ref] >> 1)
+                k = ref + 3
                 found = False
-                for k in range(2, len(lits)):
-                    if self._value(lits[k]) != 0:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[self._widx(lits[1])].append(clause)
+                while k <= end:
+                    lk = arena[k]
+                    if vals[2 * lk if lk > 0 else 1 - 2 * lk] != 0:
+                        arena[ref + 2] = lk
+                        arena[k] = false_lit
+                        watches[2 * lk if lk > 0 else 1 - 2 * lk].append(ref)
                         found = True
                         break
+                    k += 1
                 if found:
                     continue
                 # Clause is unit or conflicting.
-                watchers[j] = clause
+                watchers[j] = ref
                 j += 1
-                if self._value(first) == 0:
+                if v0 == 0:
                     # Conflict: keep remaining watchers, report.
                     while i < n:
                         watchers[j] = watchers[i]
                         j += 1
                         i += 1
                     del watchers[j:]
-                    return clause
-                self._enqueue(first, clause)
+                    compacted += n - j
+                    self._qhead = qhead
+                    stats.propagations += props
+                    self.watch_compactions += compacted
+                    return ref
+                # Inline enqueue of the unit literal l0 with reason ref.
+                v = l0 if l0 > 0 else -l0
+                p = 2 * v
+                if l0 > 0:
+                    vals[p] = 1
+                    vals[p + 1] = 0
+                else:
+                    vals[p] = 0
+                    vals[p + 1] = 1
+                level[v] = dl
+                reason[v] = ref
+                trail.append(l0)
             del watchers[j:]
+            compacted += n - j
+        self._qhead = qhead
+        stats.propagations += props
+        self.watch_compactions += compacted
         return None
 
     # -- conflict analysis ---------------------------------------------------
 
-    def _analyze(self, conflict: _Clause):
+    def _analyze(self, conflict: int):
         """First-UIP analysis; returns (learnt clause lits, backtrack level)."""
+        arena = self._arena
+        trail = self._trail
+        levels = self._level
+        reasons = self._reason
+        cla_act = self._cla_act
         learnt: List[int] = [0]  # placeholder for the asserting literal
-        seen = [False] * (self._nvars + 1)
+        seen = bytearray(self._nvars + 1)
         counter = 0
         lit = None
-        clause: Optional[_Clause] = conflict
-        idx = len(self._trail) - 1
+        ref = conflict
+        idx = len(trail) - 1
         level = self._decision_level()
 
         while True:
-            assert clause is not None
-            if clause.learnt:
-                clause.activity += self._cla_inc
-            for q in clause.lits:
+            header = arena[ref]
+            if header & 1:
+                cla_act[ref] += self._cla_inc
+            for qi in range(ref + 1, ref + 1 + (header >> 1)):
+                q = arena[qi]
                 if lit is not None and q == lit:
                     continue
-                v = abs(q)
-                if not seen[v] and self._level[v] > 0:
-                    seen[v] = True
+                v = q if q > 0 else -q
+                if not seen[v] and levels[v] > 0:
+                    seen[v] = 1
                     self._bump(v)
-                    if self._level[v] >= level:
+                    if levels[v] >= level:
                         counter += 1
                     else:
                         learnt.append(q)
             # Find the next trail literal to resolve on.
-            while not seen[abs(self._trail[idx])]:
+            while True:
+                t = trail[idx]
+                if seen[t if t > 0 else -t]:
+                    break
                 idx -= 1
-            lit = self._trail[idx]
-            v = abs(lit)
-            seen[v] = False
+            lit = trail[idx]
+            v = lit if lit > 0 else -lit
+            seen[v] = 0
             counter -= 1
             idx -= 1
             if counter == 0:
                 learnt[0] = -lit
                 break
-            clause = self._reason[v]
+            ref = reasons[v]
 
         # Clause minimisation: drop literals implied by the rest.
         kept = [learnt[0]]
         for q in learnt[1:]:
-            reason = self._reason[abs(q)]
-            if reason is None:
+            r = reasons[q if q > 0 else -q]
+            if r < 0:
                 kept.append(q)
                 continue
-            if all(
-                seen[abs(r)] or self._level[abs(r)] == 0
-                for r in reason.lits
-                if abs(r) != abs(q)
-            ):
-                continue  # redundant
+            redundant = True
+            vq = q if q > 0 else -q
+            for ri in range(r + 1, r + 1 + (arena[r] >> 1)):
+                rl = arena[ri]
+                av = rl if rl > 0 else -rl
+                if av != vq and not seen[av] and levels[av] != 0:
+                    redundant = False
+                    break
+            if redundant:
+                continue
             kept.append(q)
         learnt = kept
 
         if len(learnt) == 1:
             return learnt, 0
         # Backtrack to the second-highest level in the clause.
-        levels = sorted((self._level[abs(q)] for q in learnt[1:]), reverse=True)
-        back = levels[0]
+        back = max(levels[q if q > 0 else -q] for q in learnt[1:])
         # Put a literal of the backtrack level in position 1 (watch invariant).
         for k in range(1, len(learnt)):
-            if self._level[abs(learnt[k])] == back:
+            if levels[abs(learnt[k])] == back:
                 learnt[1], learnt[k] = learnt[k], learnt[1]
                 break
         return learnt, back
@@ -631,12 +1034,14 @@ class _SolverCore:
             for i in range(1, self._nvars + 1):
                 self._activity[i] *= 1e-100
             self._var_inc *= 1e-100
+            vals = self._vals
             self._heap = [
                 (-self._activity[v], v)
                 for v in range(1, self._nvars + 1)
-                if self._assign[v] == _UNASSIGNED
+                if vals[2 * v] == _L_UNDEF
             ]
             heapq.heapify(self._heap)
+            self._heap_stale = False
             return
         heapq.heappush(self._heap, (-self._activity[v], v))
 
@@ -644,8 +1049,9 @@ class _SolverCore:
         self._var_inc /= self.var_decay
         self._cla_inc /= self.clause_decay
         if self._cla_inc > 1e100:
-            for c in self._learnts:
-                c.activity *= 1e-100
+            act = self._cla_act
+            for ref in act:
+                act[ref] *= 1e-100
             self._cla_inc *= 1e-100
 
     def _next_assumption(self):
@@ -661,7 +1067,7 @@ class _SolverCore:
             self._trail_lim.append(len(self._trail))
             self._assumptions_done.append(lit)
             self._stats.decisions += 1
-            self._enqueue(lit, None)
+            self._enqueue(lit, _NO_REASON)
             return lit
         return None
 
@@ -670,29 +1076,39 @@ class _SolverCore:
 
         VSIDS (highest activity, saved phase) normally; in canonical mode
         the lowest-index unassigned variable, always false."""
+        vals = self._vals
         if self._canonical:
             v = self._rover
             n = self._nvars
-            assign = self._assign
-            while v <= n and assign[v] != _UNASSIGNED:
+            while v <= n and vals[2 * v] != _L_UNDEF:
                 v += 1
             self._rover = v
             if v > n:
                 return None
             self._stats.decisions += 1
             self._trail_lim.append(len(self._trail))
-            self._enqueue(-v, None)
+            self._enqueue(-v, _NO_REASON)
             return -v
+        if self._heap_stale:
+            self._heap = [
+                (-self._activity[u], u)
+                for u in range(1, self._nvars + 1)
+                if vals[2 * u] == _L_UNDEF
+            ]
+            heapq.heapify(self._heap)
+            self._heap_stale = False
         best = None
-        while self._heap:
-            neg_act, v = heapq.heappop(self._heap)
-            if self._assign[v] == _UNASSIGNED and -neg_act == self._activity[v]:
+        activity = self._activity
+        heap = self._heap
+        while heap:
+            neg_act, v = heapq.heappop(heap)
+            if vals[2 * v] == _L_UNDEF and -neg_act == activity[v]:
                 best = v
                 break
         if best is None:
             # Heap may have gone stale; fall back to a scan.
             for v in range(1, self._nvars + 1):
-                if self._assign[v] == _UNASSIGNED:
+                if vals[2 * v] == _L_UNDEF:
                     best = v
                     break
         if best is None:
@@ -700,7 +1116,7 @@ class _SolverCore:
         self._stats.decisions += 1
         self._trail_lim.append(len(self._trail))
         lit = best if self._phase[best] else -best
-        self._enqueue(lit, None)
+        self._enqueue(lit, _NO_REASON)
         return lit
 
 
@@ -744,6 +1160,9 @@ class CdclSolver:
         self.max_learnts_factor = max_learnts_factor
         self.deadline_seconds = deadline_seconds
         self.stop_check = stop_check
+        # Flat-arena telemetry of the most recent solve (the core itself
+        # is discarded per call).
+        self.last_flat_counters: Optional[Dict[str, int]] = None
 
     def solve(
         self,
@@ -788,4 +1207,5 @@ class CdclSolver:
                 res = SatResult(
                     True, canon.model, merge_stats(res.stats, canon.stats)
                 )
+        self.last_flat_counters = core.flat_counters()
         return res

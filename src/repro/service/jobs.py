@@ -329,6 +329,15 @@ class CompilationEngine:
             "matches_pruned": 0,
         }
         self._saturation_budget_hits: Dict[str, int] = {}
+        # Flat-core counters over completed compile jobs (the
+        # "flat_cores" block of /v1/metrics): the solver arena footprint
+        # is a peak, the rest are cumulative work counts.
+        self._flat_core_totals: Dict[str, int] = {
+            "solver_arena_bytes_peak": 0,
+            "solver_watch_compactions": 0,
+            "solver_arena_compactions": 0,
+            "snapshot_copy_bytes": 0,
+        }
         self._timers: List[threading.Timer] = []
         self._started_monotonic = time.monotonic()
         self._shutdown = False
@@ -502,6 +511,15 @@ class CompilationEngine:
                 self._saturation_budget_hits[key] = (
                     self._saturation_budget_hits.get(key, 0) + int(count)
                 )
+        if stats and isinstance(stats.get("cache"), dict):
+            cache = stats["cache"]
+            flat = self._flat_core_totals
+            arena = int(cache.get("solver_arena_bytes", 0) or 0)
+            if arena > flat["solver_arena_bytes_peak"]:
+                flat["solver_arena_bytes_peak"] = arena
+            for key in ("solver_watch_compactions",
+                        "solver_arena_compactions", "snapshot_copy_bytes"):
+                flat[key] += int(cache.get(key, 0) or 0)
         if record.spec.kind == "compile" and payload.get("ok"):
             self.store.put(record.fingerprint, payload)
         self._inflight.pop(record.fingerprint, None)
@@ -617,6 +635,7 @@ class CompilationEngine:
                     self._saturation_totals,
                     budget_hits=dict(self._saturation_budget_hits),
                 ),
+                "flat_cores": dict(self._flat_core_totals),
             }
 
     # -- lifecycle ---------------------------------------------------------

@@ -9,7 +9,7 @@ Denali's cycle counts — the role the real hardware played in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.extraction import Schedule, ScheduledInstruction
 from repro.isa.spec import ArchSpec

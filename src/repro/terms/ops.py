@@ -16,7 +16,7 @@ good operator for axioms even though no Alpha instruction computes it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.terms import values as V

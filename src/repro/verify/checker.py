@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core.extraction import Schedule
 from repro.lang.gma import GMA
 from repro.sim.machine import execute_schedule
 from repro.terms.evaluator import Evaluator
 from repro.terms.ops import OperatorRegistry, Sort, default_registry
-from repro.terms.term import Term, subterms
+from repro.terms.term import subterms
 from repro.terms.values import M64, Memory
 
 # Values that tend to expose bit-twiddling bugs.
@@ -110,7 +110,6 @@ def check_schedule(
         state = execute_schedule(schedule, env, registry)
 
         for index, target in enumerate(gma.targets):
-            newval = gma.newvals[index]
             expected = expected_state[target]
             if isinstance(expected, Memory):
                 addrs = _memory_addresses(gma, env, registry, definitions)

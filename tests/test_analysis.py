@@ -1,6 +1,5 @@
 """Tests for E-graph analyses (ways-of-computing, dataflow depth)."""
 
-import pytest
 
 from repro import EGraph, const, default_registry, ev6, inp, mk
 from repro.axioms import math_axioms

@@ -15,7 +15,6 @@ from repro.axioms import (
     AxiomDistinction,
     AxiomEquality,
     AxiomParseError,
-    AxiomSet,
     Pattern,
     SExprError,
     alpha_axioms,

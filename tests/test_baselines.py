@@ -11,7 +11,7 @@ from repro.baselines import (
 from repro.baselines.bruteforce import goal_from_term
 from repro.baselines.compiler import CompileError
 from repro.sim import execute_schedule, simulate_timing
-from repro.terms import default_registry, evaluate
+from repro.terms import default_registry
 from repro.verify import check_schedule
 
 

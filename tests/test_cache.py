@@ -15,7 +15,7 @@ from repro import (
     mk,
     saturate,
 )
-from repro.axioms import AxiomSet, math_axioms, parse_axiom_file
+from repro.axioms import math_axioms, parse_axiom_file
 from repro.core.cache import (
     SaturationCache,
     axioms_fingerprint,

@@ -8,13 +8,11 @@ This pins down the whole section-6 encoding (latency linking, operand
 availability, issue exclusivity, goal constraints) against ground truth.
 """
 
-import itertools
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Denali, DenaliConfig, SearchStrategy, const, inp, mk, simple_risc
+from repro import Denali, DenaliConfig, SearchStrategy, inp, mk, simple_risc
 from repro.axioms import AxiomSet
 from repro.matching import SaturationConfig
 from repro.terms import Term, subterms

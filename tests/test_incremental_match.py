@@ -12,7 +12,6 @@ import random
 import pytest
 
 from repro.axioms import (
-    AxiomSet,
     alpha_axioms,
     constant_synthesis_axioms,
     math_axioms,
@@ -168,11 +167,11 @@ class TestEnodesAtLeast:
         eg = EGraph()
         eg.add_term(mk("add64", inp("a"), inp("b")))
         eg.merge(eg.add_term(inp("a")), eg.add_term(inp("b")))
-        assert eg._dirty
+        assert eg._repair
         assert not eg.enodes_at_least(1000)
-        assert eg._dirty  # settled from the upper bound alone
+        assert eg._repair  # settled from the upper bound alone
         assert eg.enodes_at_least(1)
-        assert not eg._dirty  # crossing the bound forced the exact count
+        assert not eg._repair  # crossing the bound forced the exact count
 
 
 class TestEmatchSince:

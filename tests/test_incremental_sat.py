@@ -29,7 +29,9 @@ def _pigeonhole(solver, holes, sel, base):
     Variables ``base + p * holes + h`` mean "pigeon p sits in hole h".
     """
     pigeons = holes + 1
-    var = lambda p, h: base + p * holes + h
+    def var(p, h):
+        return base + p * holes + h
+
     solver.ensure_vars(var(pigeons - 1, holes - 1))
     for p in range(pigeons):
         solver.add_clause([-sel] + [var(p, h) for h in range(holes)])
@@ -341,9 +343,10 @@ class TestRetireDifferential:
             want = self._fresh_answer(base + budgets[k])
             assert got.satisfiable == want.satisfiable, "budget %d" % k
             if want.satisfiable:
-                restrict = lambda model: {
-                    v: model[v] for v in range(1, self.N_VARS + 1)
-                }
+                def restrict(model):
+                    return {
+                        v: model[v] for v in range(1, self.N_VARS + 1)
+                    }
                 assert restrict(got.model) == restrict(want.model)
 
     def test_retire_after_unsat_probe_matches_fresh(self):

@@ -6,7 +6,6 @@ axiom files compile for the new target; only the architectural tables
 changed.
 """
 
-import pytest
 
 from repro import (
     Denali,
@@ -22,7 +21,6 @@ from repro import (
 )
 from repro.matching import SaturationConfig
 from repro.sim import simulate_timing
-from repro.verify import check_schedule
 
 
 def _config(max_cycles=9, **kwargs):

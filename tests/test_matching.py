@@ -7,9 +7,7 @@ from repro.axioms import (
     alpha_axioms,
     constant_synthesis_axioms,
     math_axioms,
-    parse_axiom,
     parse_axiom_file,
-    parse_sexprs,
 )
 from repro.egraph import EGraph, InconsistentError
 from repro.matching import (
@@ -161,8 +159,8 @@ class TestSaturation:
 
     def test_constant_synthesis_only_for_mul_operands(self):
         eg = EGraph()
-        mul = eg.add_term(mk("mul64", inp("a"), const(8)))
-        other = eg.add_term(mk("bis", inp("b"), const(16)))
+        eg.add_term(mk("mul64", inp("a"), const(8)))
+        eg.add_term(mk("bis", inp("b"), const(16)))
         stats = saturate(eg, AxiomSet())
         # 8 (a mul operand) gets a pow node; 16 (a bis operand) does not.
         eight = eg.add_term(const(8))

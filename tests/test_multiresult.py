@@ -18,7 +18,6 @@ from repro import Denali, DenaliConfig, GMA, const, inp, mk
 from repro.isa.alpha import toy_tuple_machine
 from repro.matching import SaturationConfig
 from repro.sim import execute_schedule, simulate_timing
-from repro.verify import check_schedule
 
 
 def _config(**kwargs):

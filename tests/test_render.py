@@ -1,6 +1,5 @@
 """Tests for assembly rendering (the Figure 4 output format)."""
 
-import pytest
 
 from repro.core.extraction import Operand, Schedule, ScheduledInstruction
 from repro.egraph.egraph import ENode

@@ -9,7 +9,6 @@ from repro.core.probes import (
     CancelToken,
     PortfolioScheduler,
     Probe,
-    SearchOutcome,
     SearchStrategy,
     search_min_cycles,
 )
@@ -246,32 +245,3 @@ class TestValidation:
             search_min_cycles(_oracle(1), 0, 5)
         with pytest.raises(ValueError):
             search_min_cycles(_oracle(1), 5, 4)
-
-
-class TestRemovedModuleStub:
-    """``repro.core.search`` is a tombstone pointing at its successor."""
-
-    def test_import_raises_with_pointer(self):
-        with pytest.raises(ImportError, match=r"repro\.core\.probes"):
-            import repro.core.search  # noqa: F401
-
-    def test_nothing_in_the_package_imports_the_stub(self):
-        import os
-
-        import repro
-
-        root = os.path.dirname(os.path.abspath(repro.__file__))
-        stub = os.path.join("core", "search.py")
-        offenders = []
-        for dirpath, _dirnames, filenames in os.walk(root):
-            for filename in filenames:
-                if not filename.endswith(".py"):
-                    continue
-                path = os.path.join(dirpath, filename)
-                if path.endswith(stub):
-                    continue
-                with open(path) as handle:
-                    text = handle.read()
-                if "core.search" in text or "core import search" in text:
-                    offenders.append(path)
-        assert not offenders, offenders

@@ -7,9 +7,7 @@ from hypothesis import strategies as st
 from repro.terms import (
     EvalError,
     Memory,
-    OperatorRegistry,
     Sort,
-    Term,
     TermError,
     const,
     default_registry,

@@ -1,6 +1,5 @@
 """Unit and property tests for the 64-bit Alpha reference semantics."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ The key property: the checker passes real pipeline output and *fails*
 deliberately corrupted schedules — it must actually be able to catch bugs.
 """
 
-import pytest
 
 from repro import (
     Denali,
