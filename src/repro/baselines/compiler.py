@@ -183,7 +183,33 @@ class _Lowerer:
         return None
 
 
-def _list_schedule(
+# Public names: the stochastic searcher represents its candidates in the
+# same SSA virtual-instruction form and reuses the list scheduler and the
+# schedule-building tail below.
+Ref = _Ref
+VInstr = _VInstr
+
+
+def lower_goals(
+    gma: GMA,
+    spec: ArchSpec,
+    registry: Optional[OperatorRegistry] = None,
+    definitions: Optional[Dict] = None,
+) -> Tuple[List[_VInstr], List[_Ref]]:
+    """Lower a GMA's goal terms to the SSA virtual-instruction form.
+
+    Returns ``(instrs, goal_refs)`` — the flat instruction list plus one
+    reference per goal term.  This is the conventional compiler's front
+    half, exposed so the stochastic searcher can seed its MCMC chains from
+    the baseline's (correct) code.
+    """
+    registry = registry if registry is not None else default_registry()
+    lowerer = _Lowerer(spec, registry, definitions)
+    goal_refs = [lowerer.lower(t) for t in gma.goal_terms()]
+    return lowerer.instrs, goal_refs
+
+
+def list_schedule(
     instrs: List[_VInstr], spec: ArchSpec
 ) -> Dict[int, Tuple[int, str]]:
     """Greedy ASAP list scheduling; returns vid -> (cycle, unit)."""
@@ -270,25 +296,23 @@ def _list_schedule(
     return placed
 
 
-def compile_conventional(
-    source: Union[GMA, Term],
+_list_schedule = list_schedule
+
+
+def schedule_from_placed(
+    instrs: List[_VInstr],
+    goal_refs: List[_Ref],
+    placed: Dict[int, Tuple[int, str]],
     spec: ArchSpec,
-    registry: Optional[OperatorRegistry] = None,
-    definitions: Optional[Dict] = None,
     input_registers: Optional[Dict[str, str]] = None,
 ) -> Schedule:
-    """Compile a GMA (or a single term) the conventional way.
+    """Turn placed virtual instructions into a renderable :class:`Schedule`.
 
-    Returns a :class:`Schedule` directly comparable — on the same timing
-    and functional simulators — with Denali's output.
+    Allocates destination registers (with reuse, goal values protected),
+    binds input registers, and computes the makespan — the conventional
+    compiler's back half, shared with the stochastic searcher's candidate
+    realisation.
     """
-    registry = registry if registry is not None else default_registry()
-    gma = source if isinstance(source, GMA) else GMA(("\\res",), (source,))
-
-    lowerer = _Lowerer(spec, registry, definitions)
-    goal_refs = [lowerer.lower(t) for t in gma.goal_terms()]
-    placed = _list_schedule(lowerer.instrs, spec)
-
     regs = RegisterFile()
     if input_registers:
         for name, reg in input_registers.items():
@@ -317,11 +341,11 @@ def compile_conventional(
     pos_of = {vid: i for i, (vid, _) in enumerate(order)}
     uses: Dict[int, List[int]] = {i: [] for i in range(len(order))}
     for vid, _ in order:
-        for r in lowerer.instrs[vid].operands:
+        for r in instrs[vid].operands:
             if r.kind == "v":
                 uses[pos_of[r.index]].append(pos_of[vid])
     needs_dest = [
-        spec.info(lowerer.instrs[vid].op).kind != "store" for vid, _ in order
+        spec.info(instrs[vid].op).kind != "store" for vid, _ in order
     ]
     protected = {
         pos_of[ref.index] for ref in goal_refs if ref.kind == "v"
@@ -336,7 +360,7 @@ def compile_conventional(
 
     instructions: List[ScheduledInstruction] = []
     for vid, (cycle, unit) in order:
-        v = lowerer.instrs[vid]
+        v = instrs[vid]
         info = spec.info(v.op)
         dest = dest_regs[vid]
         operands = [ref_operand(r, dest_regs) for r in v.operands]
@@ -369,3 +393,23 @@ def compile_conventional(
         register_map=regs.register_map(),
         goal_operands=goal_operands,
     )
+
+
+def compile_conventional(
+    source: Union[GMA, Term],
+    spec: ArchSpec,
+    registry: Optional[OperatorRegistry] = None,
+    definitions: Optional[Dict] = None,
+    input_registers: Optional[Dict[str, str]] = None,
+) -> Schedule:
+    """Compile a GMA (or a single term) the conventional way.
+
+    Returns a :class:`Schedule` directly comparable — on the same timing
+    and functional simulators — with Denali's output.
+    """
+    registry = registry if registry is not None else default_registry()
+    gma = source if isinstance(source, GMA) else GMA(("\\res",), (source,))
+
+    instrs, goal_refs = lower_goals(gma, spec, registry, definitions)
+    placed = list_schedule(instrs, spec)
+    return schedule_from_placed(instrs, goal_refs, placed, spec, input_registers)

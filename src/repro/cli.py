@@ -83,6 +83,39 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         "concurrently and cancels losers)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["sat", "stochastic", "race"],
+        default="sat",
+        help="compilation engine: the exact SAT ladder, the stochastic "
+        "MCMC sampler, or a race of both (first verified winner cancels "
+        "the loser)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="session seed: fixes the stochastic chains and the "
+        "verifier's trials, so a run is byte-reproducible (default: 0)",
+    )
+    parser.add_argument(
+        "--mcmc-seed",
+        type=int,
+        default=0,
+        help="stochastic search seed, mixed with --seed per chain",
+    )
+    parser.add_argument(
+        "--mcmc-chains",
+        type=int,
+        default=4,
+        help="independent MCMC chains per stochastic campaign",
+    )
+    parser.add_argument(
+        "--mcmc-moves",
+        type=int,
+        default=20000,
+        help="proposals per MCMC chain",
+    )
+    parser.add_argument(
         "--load-latency",
         type=int,
         default=3,
@@ -297,7 +330,7 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="LIST",
         help="comma-separated oracle subset (default: all): "
-        "asm-vs-eval,solver-paths,strategies,matching,bruteforce",
+        "asm-vs-eval,solver-paths,strategies,matching,bruteforce,stochastic",
     )
     parser.add_argument(
         "--max-cycles",
@@ -431,6 +464,8 @@ def _compile_main(argv: List[str]) -> int:
         + alpha_axioms(program.registry)
         + AxiomSet(program.axioms, "program")
     )
+    from repro.stochastic.search import StochasticConfig
+
     config = DenaliConfig(
         min_cycles=args.min_cycles,
         max_cycles=args.max_cycles,
@@ -438,6 +473,13 @@ def _compile_main(argv: List[str]) -> int:
         verify=not args.no_verify,
         miss_latency=args.miss_latency,
         enable_incremental_solver=not args.no_incremental,
+        backend=args.backend,
+        seed=args.seed,
+        stochastic=StochasticConfig(
+            seed=args.mcmc_seed,
+            chains=args.mcmc_chains,
+            moves=args.mcmc_moves,
+        ),
         saturation=SaturationConfig(
             max_rounds=args.max_rounds,
             max_enodes=args.max_enodes,
@@ -589,6 +631,11 @@ def _batch_specs(args) -> List:
                 miss_latency=args.miss_latency,
                 incremental=not args.no_incremental,
                 incremental_match=not args.no_incremental_match,
+                backend=args.backend,
+                seed=args.seed,
+                mcmc_seed=args.mcmc_seed,
+                mcmc_chains=args.mcmc_chains,
+                mcmc_moves=args.mcmc_moves,
                 timeout_seconds=args.job_timeout,
             )
         )
@@ -862,6 +909,8 @@ def _write_stats_json(args, collected) -> None:
         "source": args.source,
         "arch": args.arch,
         "strategy": args.strategy,
+        "backend": getattr(args, "backend", "sat"),
+        "seed": getattr(args, "seed", 0),
         "gmas": [stats.to_dict() for stats in collected],
         "totals": aggregate_stats(collected),
         "global_caches": {
@@ -967,10 +1016,13 @@ def _write_profile_json(args, collected) -> None:
         gmas.append(
             {
                 "label": stats.label,
+                "backend": stats.backend,
+                "winner": stats.winner,
                 "stage_seconds": {
                     k: round(v, 6) for k, v in stats.timings.items()
                 },
                 "saturation": saturation,
+                "stochastic": stats.stochastic,
                 "flat_cores": flat_cores,
                 "probes": probes,
             }
@@ -978,6 +1030,7 @@ def _write_profile_json(args, collected) -> None:
     report = {
         "source": args.source,
         "strategy": args.strategy,
+        "backend": getattr(args, "backend", "sat"),
         "incremental": not args.no_incremental,
         "incremental_match": not args.no_incremental_match,
         "gmas": gmas,
@@ -1005,6 +1058,8 @@ def _dump_dimacs(directory: str, label: str, den, gma, result) -> None:
     saturate(eg, den.axioms, den.registry, den.config.saturation)
     goal_ids = [eg.find(g) for g in goal_ids]
     for probe in result.search.probes:
+        if probe.solver == "stochastic":  # no CNF behind a sampler probe
+            continue
         enc = encode_schedule(eg, den.spec, goal_ids, probe.cycles)
         path = os.path.join(
             directory, "%s.K%d.cnf" % (label.replace("/", "_"), probe.cycles)

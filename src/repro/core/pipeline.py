@@ -22,8 +22,13 @@ from repro.encode.constraints import EncodingOptions
 from repro.isa.spec import ArchSpec
 from repro.lang.gma import GMA
 from repro.matching.saturation import SaturationConfig, SaturationStats
+from repro.stochastic.search import StochasticConfig
 from repro.terms.ops import OperatorRegistry, default_registry
 from repro.terms.term import Term
+
+# Engines compile_gma can dispatch to: the exact SAT ladder, the MCMC
+# sampler, or both racing (first verified winner cancels the loser).
+BACKENDS = ("sat", "stochastic", "race")
 
 
 @dataclass
@@ -59,6 +64,13 @@ class DenaliConfig:
     # the CNF prefix cache; turning either off restores the PR 1
     # from-scratch solver per probe.
     enable_incremental_solver: bool = True
+    # Which engine answers the GMA: "sat" (the exact ladder), "stochastic"
+    # (the MCMC sampler alone), or "race" (both, first verified wins).
+    backend: str = "sat"
+    # Session-level seed: mixed into the stochastic chains and the
+    # verifier's trial generator, so a CLI line reproduces a run exactly.
+    seed: int = 0
+    stochastic: StochasticConfig = field(default_factory=StochasticConfig)
 
 
 @dataclass
@@ -77,6 +89,9 @@ class CompilationResult:
     elapsed_seconds: float = 0.0
     # Per-stage telemetry of the session that produced this result.
     stats: Optional[StageStats] = None
+    # Which engine ran, and (for races) which one produced the schedule.
+    backend: str = "sat"
+    winner: Optional[str] = None
 
     @property
     def assembly(self) -> str:
@@ -216,13 +231,55 @@ class Denali:
         (saturation → per-probe encode/sat/extract → verify); registered
         session observers receive the per-stage statistics, which are also
         attached to the result as ``result.stats``.
+
+        ``config.backend`` selects the engine: the exact SAT ladder
+        (default), the stochastic MCMC sampler, or a race of both where
+        the first verified winner cancels the loser.
         """
         cfg = self.config
-        start = time.perf_counter()
-        session = CompilationSession(self, gma, label=label)
-
         if input_registers is None:
             input_registers = self._default_input_registers(gma)
+        if cfg.backend == "stochastic":
+            return self._compile_stochastic(
+                gma, input_registers, bind_outputs, label
+            )
+        if cfg.backend == "race":
+            return self._compile_race(
+                gma, input_registers, max_cycles, bind_outputs, label
+            )
+        if cfg.backend != "sat":
+            raise ValueError(
+                "unknown backend %r (expected one of %s)"
+                % (cfg.backend, ", ".join(BACKENDS))
+            )
+        start = time.perf_counter()
+        result, session = self._compile_sat(
+            gma, input_registers, max_cycles, bind_outputs, label, start
+        )
+        session.finish(result.elapsed_seconds)
+        return result
+
+    # -- the SAT path (the paper's pipeline) ---------------------------------
+
+    def _compile_sat(
+        self,
+        gma: GMA,
+        input_registers: Dict[str, str],
+        max_cycles: Optional[int],
+        bind_outputs: Optional[bool],
+        label: str,
+        start: float,
+        external_stop=None,
+    ) -> Tuple[CompilationResult, CompilationSession]:
+        """Saturate, probe the budget ladder, extract and verify.
+
+        Returns the result *and* its session without announcing the stats
+        to observers — the caller decides when the record is final (race
+        mode appends the stochastic contestant's telemetry first).
+        """
+        cfg = self.config
+        session = CompilationSession(self, gma, label=label)
+        session.external_stop = external_stop
 
         # Phase 1: matching (once per GMA — section 3), restored from a
         # cached snapshot when the identical goals/axioms/config were
@@ -266,6 +323,232 @@ class Denali:
         if schedule is not None and cfg.verify:
             result.verified = session.verify(schedule)
 
+        result.elapsed_seconds = time.perf_counter() - start
+        return result, session
+
+    # -- the stochastic path --------------------------------------------------
+
+    def _make_stochastic_probe(
+        self, gma: GMA, input_registers: Dict[str, str]
+    ):
+        from repro.stochastic.backend import StochasticProbe
+
+        return StochasticProbe(
+            gma,
+            self.spec,
+            self.registry,
+            self.axioms.definitions(),
+            input_registers,
+            self.config.stochastic,
+            session_seed=self.config.seed,
+            deadline_seconds=self.config.solver_deadline_seconds,
+        )
+
+    def _compile_stochastic(
+        self,
+        gma: GMA,
+        input_registers: Dict[str, str],
+        bind_outputs: Optional[bool],
+        label: str,
+    ) -> CompilationResult:
+        """MCMC only: no E-graph, no CNF — sample, realize, verify."""
+        cfg = self.config
+        start = time.perf_counter()
+        session = CompilationSession(self, gma, label=label)
+        stats = session.stats
+        stats.strategy = "stochastic"
+        stats.backend = "stochastic"
+
+        probe = self._make_stochastic_probe(gma, input_registers)
+        outcome = probe()
+        record = probe.probe_record()
+        stats.probes = [record]
+        stats.stochastic = outcome.stats_dict()
+        stats.add_time("stochastic", outcome.time_seconds)
+        stats.best_cycles = outcome.cycles
+        stats.optimal = False
+
+        schedule = outcome.schedule
+        bind = cfg.bind_outputs if bind_outputs is None else bind_outputs
+        if schedule is not None and bind:
+            from repro.core import moves
+
+            schedule = moves.bind_outputs(schedule, gma, self.spec)
+        result = CompilationResult(
+            gma=gma,
+            schedule=schedule,
+            cycles=outcome.cycles,
+            optimal=False,
+            search=SearchOutcome(
+                best_cycles=outcome.cycles,
+                best_payload=schedule,
+                proved_floor=0,
+                probes=[record],
+            ),
+            saturation=SaturationStats(),
+            egraph=EGraph(),
+            goal_classes=[],
+            stats=stats,
+            backend="stochastic",
+            winner="stochastic" if schedule is not None else None,
+        )
+        stats.winner = result.winner
+        if schedule is not None and cfg.verify:
+            result.verified = session.verify(schedule)
+        result.elapsed_seconds = time.perf_counter() - start
+        session.finish(result.elapsed_seconds)
+        return result
+
+    # -- the race -------------------------------------------------------------
+
+    def _compile_race(
+        self,
+        gma: GMA,
+        input_registers: Dict[str, str],
+        max_cycles: Optional[int],
+        bind_outputs: Optional[bool],
+        label: str,
+    ) -> CompilationResult:
+        """Race the SAT ladder against the sampler; first verified wins.
+
+        The losing side is cancelled cooperatively through the shared
+        token (the SAT path via the session's ``external_stop``, the
+        sampler via its per-slice ``stop_check``), and the final result
+        keeps the best verified schedule of the entries that did finish.
+        """
+        import threading
+
+        from repro.core.probes import BackendRace, RaceEntry
+        from repro.stochastic.backend import make_throttle, supports_gma
+
+        cfg = self.config
+        start = time.perf_counter()
+
+        reason = supports_gma(gma)
+        if reason is not None:
+            # Out of the sampler's scope: the SAT path runs unopposed, but
+            # the stats still say why the race degenerated.
+            result, session = self._compile_sat(
+                gma, input_registers, max_cycles, bind_outputs, label, start
+            )
+            result.backend = "race"
+            result.winner = "sat" if result.schedule is not None else None
+            session.stats.backend = "race"
+            session.stats.winner = result.winner
+            session.stats.stochastic = {"unsupported": reason}
+            session.finish(result.elapsed_seconds)
+            return result
+
+        sat_done = threading.Event()
+        sat_box: Dict[str, object] = {}
+
+        def sat_contestant(token) -> RaceEntry:
+            t0 = time.perf_counter()
+            try:
+                result, session = self._compile_sat(
+                    gma,
+                    input_registers,
+                    max_cycles,
+                    bind_outputs,
+                    label,
+                    start,
+                    external_stop=token,
+                )
+                sat_box["result"], sat_box["session"] = result, session
+                entry = RaceEntry(
+                    name="sat",
+                    verified=bool(result.verified)
+                    and result.schedule is not None,
+                    cycles=result.cycles,
+                    payload=result,
+                    time_seconds=time.perf_counter() - t0,
+                    cancelled=token() and result.schedule is None,
+                )
+                if entry.verified:
+                    # Cancel before announcing completion: the sampler
+                    # wakes on ``sat_done``, and must find the token
+                    # already set so it never starts an expensive seed
+                    # verification for a race that is already lost.
+                    token.cancel()
+                return entry
+            finally:
+                sat_done.set()
+
+        probe = self._make_stochastic_probe(gma, input_registers)
+
+        def stochastic_contestant(token) -> RaceEntry:
+            t0 = time.perf_counter()
+            throttle = make_throttle(
+                sat_done,
+                token,
+                grace_seconds=cfg.stochastic.race_grace_seconds,
+            )
+            outcome = probe(token, throttle)
+            return RaceEntry(
+                name="stochastic",
+                verified=outcome.verified and outcome.schedule is not None,
+                cycles=outcome.cycles,
+                payload=outcome,
+                time_seconds=time.perf_counter() - t0,
+                cancelled=any(c.cancelled for c in outcome.chains),
+            )
+
+        race_winner, entries = BackendRace().run(
+            [
+                ("sat", sat_contestant),
+                ("stochastic", stochastic_contestant),
+            ]
+        )
+
+        result: CompilationResult = sat_box["result"]
+        session: CompilationSession = sat_box["session"]
+        outcome = probe.outcome
+        stats = session.stats
+        stats.backend = "race"
+        result.backend = "race"
+        if outcome is not None:
+            stats.stochastic = outcome.stats_dict()
+            stats.probes = stats.probes + [probe.probe_record()]
+
+        # Keep the best verified schedule among the finished entries; ties
+        # go to the race winner (it reported first), then to the SAT side
+        # (whose result may carry an optimality certificate).
+        def rank(item):
+            name, entry = item
+            return (
+                entry.cycles,
+                0 if name == race_winner else (1 if name == "sat" else 2),
+            )
+
+        verified_entries = [
+            (name, e)
+            for name, e in entries.items()
+            if e.verified and e.cycles is not None
+        ]
+        chosen = min(verified_entries, key=rank) if verified_entries else None
+
+        if chosen is not None and chosen[0] == "stochastic":
+            schedule = outcome.schedule
+            bind = cfg.bind_outputs if bind_outputs is None else bind_outputs
+            if schedule is not None and bind:
+                from repro.core import moves
+
+                schedule = moves.bind_outputs(schedule, gma, self.spec)
+            result.schedule = schedule
+            result.cycles = outcome.cycles
+            result.optimal = False
+            result.verified = (
+                session.verify(schedule) if cfg.verify else None
+            )
+            result.winner = "stochastic"
+        elif chosen is not None:
+            result.winner = "sat"
+        else:
+            result.winner = None
+
+        stats.winner = result.winner
+        stats.best_cycles = result.cycles
+        stats.optimal = result.optimal
         result.elapsed_seconds = time.perf_counter() - start
         session.finish(result.elapsed_seconds)
         return result

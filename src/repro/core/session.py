@@ -44,6 +44,13 @@ class StageStats:
 
     label: str = ""
     strategy: str = ""
+    # Which engine compiled this GMA ("sat" | "stochastic" | "race") and,
+    # for races, which contestant's schedule was kept.
+    backend: str = "sat"
+    winner: Optional[str] = None
+    # The stochastic campaign's per-chain telemetry (StochasticOutcome
+    # .stats_dict()), present for the stochastic and race backends.
+    stochastic: Optional[dict] = None
     timings: Dict[str, float] = field(default_factory=dict)
     probes: List[Probe] = field(default_factory=list)
     saturation: Optional[SaturationStats] = None
@@ -109,6 +116,9 @@ class StageStats:
         return {
             "label": self.label,
             "strategy": self.strategy,
+            "backend": self.backend,
+            "winner": self.winner,
+            "stochastic": self.stochastic,
             "timings": {k: round(v, 6) for k, v in self.timings.items()},
             "probes": [p.to_dict() for p in self.probes],
             "saturation": sat,
@@ -143,11 +153,45 @@ def aggregate_stats(collected: List["StageStats"]) -> dict:
         "matches_pruned": 0,
     }
     budget_hits: Dict[str, int] = {}
+    # Per-backend win counts: which engine produced the kept schedule.
+    wins: Dict[str, int] = {"sat": 0, "stochastic": 0}
+    stochastic: Dict[str, int] = {
+        "campaigns": 0,
+        "chains": 0,
+        "proposals": 0,
+        "accepted": 0,
+        "oracle_calls": 0,
+        "oracle_passes": 0,
+        "counterexamples": 0,
+        "restarts": 0,
+        "unsupported": 0,
+    }
     for stats in collected:
         for stage, seconds in stats.timings.items():
             timings[stage] = timings.get(stage, 0.0) + seconds
         for key, value in stats.cache.items():
             cache[key] = cache.get(key, 0) + value
+        if stats.best_cycles is not None:
+            winner = stats.winner or (
+                "stochastic" if stats.backend == "stochastic" else "sat"
+            )
+            wins[winner] = wins.get(winner, 0) + 1
+        sto = stats.stochastic
+        if sto is not None:
+            stochastic["campaigns"] += 1
+            if sto.get("unsupported"):
+                stochastic["unsupported"] += 1
+            totals = sto.get("totals", {})
+            for key in (
+                "chains",
+                "proposals",
+                "accepted",
+                "oracle_calls",
+                "oracle_passes",
+                "counterexamples",
+                "restarts",
+            ):
+                stochastic[key] += totals.get(key, 0)
         sat = stats.saturation
         if sat is not None:
             saturation["sessions"] += 1
@@ -175,6 +219,8 @@ def aggregate_stats(collected: List["StageStats"]) -> dict:
         "timings": {k: round(v, 6) for k, v in timings.items()},
         "cache": cache,
         "saturation": saturation,
+        "backend_wins": wins,
+        "stochastic": stochastic,
     }
 
 
@@ -259,6 +305,10 @@ class CompilationSession:
         self.config = denali.config
         self.gma = gma
         self.stats = StageStats(label=label, strategy=self.config.strategy.value)
+        # An extra stop signal combined into every probe's stop_check —
+        # this is how a losing race contestant is cancelled from outside
+        # the session's own scheduler.
+        self.external_stop: Optional[Callable[[], bool]] = None
         self._lock = threading.Lock()  # guards the E-graph + encoder
         self._encoder: Optional[IncrementalEncoder] = None
         # The persistent solver shared by every probe of this session
@@ -266,6 +316,17 @@ class CompilationSession:
         self._solver: Optional[IncrementalSolver] = None
         self._fed_clauses = 0  # master clauses already handed to the solver
         self._fed_budgets: set = set()
+
+    def _stop(
+        self, cancel: Optional[Callable[[], bool]]
+    ) -> Optional[Callable[[], bool]]:
+        """Combine a scheduler's cancel token with the session-level stop."""
+        ext = self.external_stop
+        if ext is None:
+            return cancel
+        if cancel is None:
+            return ext
+        return lambda: bool(cancel()) or bool(ext())
 
     # -- stage 1: saturation -------------------------------------------------
 
@@ -394,7 +455,7 @@ class CompilationSession:
                 k,
                 conflict_budget=cfg.solver_conflict_budget,
                 deadline_seconds=cfg.solver_deadline_seconds,
-                stop_check=cancel,
+                stop_check=self._stop(cancel),
                 canonical_model=True,
             )
             p.satisfiable = res.satisfiable
@@ -451,7 +512,7 @@ class CompilationSession:
             solver = CdclSolver(
                 conflict_budget=cfg.solver_conflict_budget,
                 deadline_seconds=cfg.solver_deadline_seconds,
-                stop_check=cancel,
+                stop_check=self._stop(cancel),
             )
             res = solver.solve(encoding.cnf, canonical_model=True)
             if solver.last_flat_counters is not None:

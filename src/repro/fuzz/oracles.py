@@ -20,7 +20,15 @@ the system, and every pair must agree:
 * **bruteforce** — on small register-only goals, a Massalin-style
   exhaustive search (:mod:`repro.baselines.bruteforce`) must find a
   program whose outputs match both the evaluator and the compiled
-  assembly.
+  assembly;
+* **stochastic** — any schedule the MCMC backend
+  (:mod:`repro.stochastic`) returns must pass the differential checker,
+  its claimed cycle count must match the timing referee, and when it
+  undercuts a SAT-proved optimum the claim must survive a second,
+  differently-seeded verification.  Beating the proof is *legitimate* —
+  Denali's optimality is relative to the E-graph's axiom corpus, while
+  the sampler composes raw machine ops — so only a false "better"
+  (one that fails re-verification) is a divergence.
 
 ``check_case`` never raises on a bad program: every failure mode —
 including a crash inside the pipeline — becomes a :class:`Divergence`
@@ -60,6 +68,7 @@ ORACLE_SOLVER = "solver-paths"
 ORACLE_STRATEGY = "strategies"
 ORACLE_MATCHING = "matching"
 ORACLE_BRUTE = "bruteforce"
+ORACLE_STOCHASTIC = "stochastic"
 ORACLE_CRASH = "crash"
 
 ALL_ORACLES = (
@@ -68,6 +77,7 @@ ALL_ORACLES = (
     ORACLE_STRATEGY,
     ORACLE_MATCHING,
     ORACLE_BRUTE,
+    ORACLE_STOCHASTIC,
 )
 
 
@@ -85,6 +95,10 @@ class OracleOptions:
     brute_max_inputs: int = 2
     brute_max_sequences: int = 200_000
     brute_trials: int = 8
+    # Stochastic-oracle campaign size (small: the oracle only asks the
+    # sampler for *a* verified answer, not its best one).
+    mcmc_chains: int = 2
+    mcmc_moves: int = 400
 
     def wants(self, oracle: str) -> bool:
         return oracle in self.oracles
@@ -101,6 +115,8 @@ class OracleOptions:
             brute_max_inputs=self.brute_max_inputs,
             brute_max_sequences=self.brute_max_sequences,
             brute_trials=self.brute_trials,
+            mcmc_chains=self.mcmc_chains,
+            mcmc_moves=self.mcmc_moves,
         )
 
 
@@ -352,6 +368,102 @@ def _check_bruteforce(
                 return
 
 
+# -- the stochastic oracle -----------------------------------------------------
+
+
+def _check_stochastic(
+    report: CaseReport,
+    gma: GMA,
+    base: CompilationResult,
+    registry: OperatorRegistry,
+    axioms,
+    options: OracleOptions,
+    label: str,
+    seed: int,
+    source: str,
+) -> None:
+    """The sampler must never report a wrong answer or a false cycle claim.
+
+    Three properties are asserted about whatever schedule a campaign
+    returns: it must pass an independent run of the differential checker;
+    its claimed cycle count must match the timing simulator's makespan
+    (no under-reporting); and when it undercuts a cycle count the SAT
+    path proved optimal — which is legitimate, the proof is only optimal
+    *relative to the E-graph*, while the sampler explores raw machine-op
+    space — the "better" claim must additionally survive a second,
+    differently-seeded verification with doubled trials.  A genuinely
+    verified improvement is an axiom-corpus gap, not a divergence; only a
+    false "better" (or any unverified answer) is.  Campaigns that find
+    nothing are inconclusive, not divergences.
+    """
+    from repro.sim.timing import simulate_timing
+    from repro.stochastic.backend import StochasticProbe, supports_gma
+    from repro.stochastic.search import StochasticConfig
+
+    if supports_gma(gma) is not None:
+        return  # out of the sampler's scope (guards / memory)
+    probe = StochasticProbe(
+        gma,
+        ev6(),
+        registry,
+        axioms.definitions(),
+        config=StochasticConfig(
+            chains=options.mcmc_chains, moves=options.mcmc_moves
+        ),
+        session_seed=seed,
+    )
+    outcome = probe()
+    if outcome.unsupported is not None or outcome.schedule is None:
+        return
+    report.count(ORACLE_STOCHASTIC)
+    check = check_schedule(
+        gma, outcome.schedule, registry,
+        trials=options.verify_trials,
+        definitions=axioms.definitions(),
+    )
+    if not check.passed:
+        report.divergences.append(Divergence(
+            oracle=ORACLE_STOCHASTIC, label=label, seed=seed, source=source,
+            detail="stochastic schedule fails the differential checker: %s"
+                   % "; ".join(check.failures[:3]),
+        ))
+        return
+    timing = simulate_timing(outcome.schedule, ev6())
+    claimed = max(1, outcome.schedule.cycles)
+    if not timing.ok or outcome.cycles != claimed:
+        report.divergences.append(Divergence(
+            oracle=ORACLE_STOCHASTIC, label=label, seed=seed, source=source,
+            detail="stochastic cycle claim is wrong: reported %s, "
+                   "schedule makespan %d, timing referee %s\n%s"
+                   % (outcome.cycles, claimed,
+                      "ok" if timing.ok else "; ".join(timing.violations[:3]),
+                      outcome.schedule.render()),
+        ))
+        return
+    if (
+        base.schedule is not None
+        and base.optimal
+        and outcome.cycles < base.cycles
+    ):
+        recheck = check_schedule(
+            gma, outcome.schedule, registry,
+            trials=2 * options.verify_trials,
+            seed=(seed or 0) ^ 0x5707C4571C,
+            definitions=axioms.definitions(),
+        )
+        if not recheck.passed:
+            report.divergences.append(Divergence(
+                oracle=ORACLE_STOCHASTIC, label=label, seed=seed,
+                source=source,
+                detail="false \"better\": stochastic claims %d cycles vs "
+                       "the SAT-proved optimum of %d, but re-verification "
+                       "fails: %s\n%s"
+                       % (outcome.cycles, base.cycles,
+                          "; ".join(recheck.failures[:3]),
+                          outcome.schedule.render()),
+            ))
+
+
 # -- the entry point -----------------------------------------------------------
 
 
@@ -521,5 +633,19 @@ def _check_case_inner(
                     oracle=ORACLE_BRUTE, label=label, seed=seed,
                     source=source,
                     detail="brute-force oracle crashed: %s: %s"
+                           % (type(exc).__name__, exc),
+                ))
+
+        if options.wants(ORACLE_STOCHASTIC):
+            try:
+                _check_stochastic(
+                    report, gma, base, registry, axioms, options, label,
+                    seed if seed is not None else 0, source,
+                )
+            except Exception as exc:
+                report.divergences.append(Divergence(
+                    oracle=ORACLE_STOCHASTIC, label=label, seed=seed,
+                    source=source,
+                    detail="stochastic oracle crashed: %s: %s"
                            % (type(exc).__name__, exc),
                 ))

@@ -67,6 +67,11 @@ class JobSpec:
     miss_latency: int = 12
     incremental: bool = True  # persistent solver across the probe ladder
     incremental_match: bool = True  # dirty-cone matching during saturation
+    backend: str = "sat"  # "sat" | "stochastic" | "race"
+    seed: int = 0  # session seed (stochastic chains + verifier trials)
+    mcmc_seed: int = 0
+    mcmc_chains: int = 4
+    mcmc_moves: int = 20000
     timeout_seconds: Optional[float] = None
     seconds: float = 0.0  # for kind == "sleep"
 
@@ -102,6 +107,11 @@ _SEMANTIC_FIELDS = (
     "miss_latency",
     "incremental",
     "incremental_match",
+    "backend",
+    "seed",
+    "mcmc_seed",
+    "mcmc_chains",
+    "mcmc_moves",
     "seconds",
 )
 
@@ -169,6 +179,8 @@ def _compile(spec: JobSpec) -> Dict[str, Any]:
 
     corpus = _cache.global_axiom_cache().default_corpus(program.registry)
     axioms = corpus + AxiomSet(program.axioms, "program")
+    from repro.stochastic.search import StochasticConfig
+
     config = DenaliConfig(
         min_cycles=spec.min_cycles,
         max_cycles=spec.max_cycles,
@@ -176,6 +188,13 @@ def _compile(spec: JobSpec) -> Dict[str, Any]:
         verify=spec.verify,
         miss_latency=spec.miss_latency,
         enable_incremental_solver=spec.incremental,
+        backend=spec.backend,
+        seed=spec.seed,
+        stochastic=StochasticConfig(
+            seed=spec.mcmc_seed,
+            chains=spec.mcmc_chains,
+            moves=spec.mcmc_moves,
+        ),
         saturation=SaturationConfig(
             max_rounds=spec.max_rounds,
             max_enodes=spec.max_enodes,
@@ -205,6 +224,8 @@ def _compile(spec: JobSpec) -> Dict[str, Any]:
                             "cycles": None,
                             "optimal": False,
                             "verified": None,
+                            "backend": result.backend,
+                            "winner": None,
                             "summary": result.summary(),
                         }
                     )
@@ -220,6 +241,8 @@ def _compile(spec: JobSpec) -> Dict[str, Any]:
                         "cycles": result.cycles,
                         "optimal": result.optimal,
                         "verified": result.verified,
+                        "backend": result.backend,
+                        "winner": result.winner,
                         "summary": result.summary(),
                     }
                 )
@@ -329,6 +352,27 @@ class CompilationEngine:
             "matches_pruned": 0,
         }
         self._saturation_budget_hits: Dict[str, int] = {}
+        # Which engine produced each kept schedule, over completed compile
+        # jobs; ``cache_hit`` counts submissions served straight from the
+        # result store without compiling at all.
+        self._backend_wins: Dict[str, int] = {
+            "sat": 0,
+            "stochastic": 0,
+            "cache_hit": 0,
+        }
+        # Stochastic campaign counters summed over completed compile jobs
+        # (the "stochastic" block of /v1/metrics).
+        self._stochastic_totals: Dict[str, int] = {
+            "campaigns": 0,
+            "chains": 0,
+            "proposals": 0,
+            "accepted": 0,
+            "oracle_calls": 0,
+            "oracle_passes": 0,
+            "counterexamples": 0,
+            "restarts": 0,
+            "unsupported": 0,
+        }
         # Flat-core counters over completed compile jobs (the
         # "flat_cores" block of /v1/metrics): the solver arena footprint
         # is a peak, the rest are cumulative work counts.
@@ -406,6 +450,7 @@ class CompilationEngine:
                     record.result = cached
                     record.finished_at = time.time()
                     record.done.set()
+                    self._backend_wins["cache_hit"] += 1
                     return record.id
             self._inflight[fingerprint] = record.id
             record.attempts = 1
@@ -510,6 +555,16 @@ class CompilationEngine:
             for key, count in (sat.get("budget_hits") or {}).items():
                 self._saturation_budget_hits[key] = (
                     self._saturation_budget_hits.get(key, 0) + int(count)
+                )
+        if stats and isinstance(stats.get("backend_wins"), dict):
+            for name, count in stats["backend_wins"].items():
+                self._backend_wins[name] = (
+                    self._backend_wins.get(name, 0) + int(count or 0)
+                )
+        if stats and isinstance(stats.get("stochastic"), dict):
+            for key in self._stochastic_totals:
+                self._stochastic_totals[key] += int(
+                    stats["stochastic"].get(key, 0) or 0
                 )
         if stats and isinstance(stats.get("cache"), dict):
             cache = stats["cache"]
@@ -636,6 +691,8 @@ class CompilationEngine:
                     budget_hits=dict(self._saturation_budget_hits),
                 ),
                 "flat_cores": dict(self._flat_core_totals),
+                "backends": dict(self._backend_wins),
+                "stochastic": dict(self._stochastic_totals),
             }
 
     # -- lifecycle ---------------------------------------------------------

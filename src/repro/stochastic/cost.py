@@ -1,0 +1,264 @@
+"""The layered objective: test-vector distance, cycle estimate, full oracle.
+
+The in-loop cost of a candidate is
+
+    distance(candidate) * distance_weight + estimated_cycles(candidate)
+
+where *distance* is the summed Hamming distance between the candidate's
+goal values and the GMA's reference values over a fixed set of test
+vectors (the checker's adversarial values first, then seeded random ones),
+and *estimated_cycles* is a cheap lower-ish bound — the latency-weighted
+critical path combined with the issue-width floor — that never runs the
+list scheduler.
+
+Only when the distance reaches zero does the model pay for precision:
+:meth:`CostModel.realize` runs the real list scheduler and register
+allocator to produce a :class:`~repro.core.extraction.Schedule` (validated
+on the timing simulator), and :meth:`CostModel.full_check` runs the
+differential checker.  A failed full check returns its counterexample,
+which the search loop folds back into the test vectors — the same
+cheap-tests-first, CEGIS-style acceptance layering STOKE uses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.compiler import (
+    CompileError,
+    Ref,
+    VInstr,
+    list_schedule,
+    schedule_from_placed,
+)
+from repro.core.extraction import Schedule
+from repro.isa.allocator import AllocationError
+from repro.isa.spec import ArchSpec
+from repro.lang.gma import GMA
+from repro.sim.timing import simulate_timing
+from repro.stochastic.mutations import Candidate
+from repro.terms.ops import OperatorRegistry, Sort
+from repro.terms.values import M64
+from repro.verify.checker import (
+    CheckReport,
+    check_schedule,
+    collect_inputs,
+    random_env,
+)
+
+# Distance charged per goal whose value cannot be computed at all
+# (evaluation error or unresolved reference): the worst Hamming distance.
+_MAX_GOAL_DISTANCE = 64
+
+
+class CostModel:
+    """Evaluate candidates against one GMA on one architecture."""
+
+    def __init__(
+        self,
+        gma: GMA,
+        spec: ArchSpec,
+        registry: OperatorRegistry,
+        definitions: Optional[Dict] = None,
+        input_registers: Optional[Dict[str, str]] = None,
+        vectors: int = 8,
+        seed: int = 0,
+        distance_weight: int = 32,
+        cycle_weight: int = 8,
+        verify_trials: int = 16,
+    ) -> None:
+        self.gma = gma
+        self.spec = spec
+        self.registry = registry
+        self.definitions = definitions
+        self.input_registers = input_registers
+        self.distance_weight = distance_weight
+        self.cycle_weight = cycle_weight
+        self.verify_trials = verify_trials
+        self.verify_seed = 20020617 ^ seed
+        inputs = collect_inputs(gma)
+        if any(sort != Sort.INT for sort in inputs.values()):
+            raise ValueError("stochastic cost model is register-only")
+        # (env, expected-per-target) pairs, deterministic from the seed.
+        self.vectors: List[Tuple[Dict[str, int], Tuple[int, ...]]] = []
+        rng = random.Random(seed ^ 0x5DEECE66D)
+        for trial in range(vectors):
+            self.add_vector(random_env(inputs, rng, trial))
+        self._eval_fns = {}
+        for name in registry.names():
+            sig = registry.get(name)
+            if sig.eval_fn is not None:
+                self._eval_fns[name] = sig.eval_fn
+
+    def fork(self) -> "CostModel":
+        """A copy with its own vector list (chains learn independently)."""
+        import copy
+
+        clone = copy.copy(self)
+        clone.vectors = list(self.vectors)
+        return clone
+
+    def add_vector(self, env: Dict[str, int]) -> None:
+        """Add one test vector; expected values come from the GMA."""
+        state = self.gma.apply(dict(env), self.registry, self.definitions)
+        expected = tuple(
+            int(state[t]) & M64 for t in self.gma.targets
+        )
+        self.vectors.append((dict(env), expected))
+
+    # -- the cheap layers ----------------------------------------------------
+
+    def _run_vector(
+        self, cand: Candidate, env: Dict[str, int]
+    ) -> List[Optional[int]]:
+        """Interpret the SSA program on one input; None marks a poisoned value."""
+        values: List[Optional[int]] = []
+        fns = self._eval_fns
+        for v in cand.instrs:
+            args = []
+            ok = True
+            for ref in v.operands:
+                if ref.kind == "v":
+                    a = values[ref.index]
+                    if a is None:
+                        ok = False
+                        break
+                elif ref.kind == "imm":
+                    a = ref.value
+                elif ref.kind == "input":
+                    a = env.get(ref.name)
+                    if a is None:
+                        ok = False
+                        break
+                else:  # "mem" — never produced in register-only candidates
+                    ok = False
+                    break
+                args.append(a)
+            if not ok:
+                values.append(None)
+                continue
+            fn = fns.get(v.op)
+            if fn is None:
+                values.append(None)
+                continue
+            try:
+                values.append(int(fn(*args)) & M64)
+            except Exception:
+                values.append(None)
+        out: List[Optional[int]] = []
+        for ref in cand.goals:
+            if ref.kind == "v":
+                out.append(values[ref.index])
+            elif ref.kind == "imm":
+                out.append(ref.value & M64)
+            elif ref.kind == "input":
+                val = env.get(ref.name)
+                out.append(None if val is None else val & M64)
+            else:
+                out.append(None)
+        return out
+
+    def distance(self, cand: Candidate) -> int:
+        """Summed Hamming distance over all vectors and goal targets."""
+        total = 0
+        for env, expected in self.vectors:
+            got = self._run_vector(cand, env)
+            for g, want in zip(got, expected):
+                if g is None:
+                    total += _MAX_GOAL_DISTANCE
+                else:
+                    total += bin(g ^ want).count("1")
+        return total
+
+    @staticmethod
+    def live_set(cand: Candidate) -> List[int]:
+        """Instruction indices reachable from the goal references."""
+        live = set()
+        stack = [r.index for r in cand.goals if r.kind == "v"]
+        while stack:
+            i = stack.pop()
+            if i in live:
+                continue
+            live.add(i)
+            for ref in cand.instrs[i].operands:
+                if ref.kind == "v":
+                    stack.append(ref.index)
+        return sorted(live)
+
+    def estimate_cycles(self, cand: Candidate) -> int:
+        """Latency-weighted critical path vs. the issue-width floor.
+
+        Only goal-reachable instructions count: dead code is stripped at
+        realisation, so it must not hide an improvement from the oracle
+        gate.  (The per-instruction term of :meth:`cost` still pressures
+        the delete move into cleaning it up.)
+        """
+        spec = self.spec
+        live = self.live_set(cand)
+        finish: Dict[int, int] = {}
+        for i in live:  # sorted, so operands are already computed
+            v = cand.instrs[i]
+            ready = 0
+            for ref in v.operands:
+                if ref.kind == "v" and finish[ref.index] > ready:
+                    ready = finish[ref.index]
+            finish[i] = ready + spec.latency(v.op)
+        path = max(finish.values(), default=0)
+        width = -(-len(live) // spec.issue_width)  # ceil
+        return max(path, width, 1)
+
+    def cost(self, cand: Candidate) -> int:
+        """dist·W  +  cycles·w  +  instruction count (shrink tie-break)."""
+        return (
+            self.distance(cand) * self.distance_weight
+            + self.estimate_cycles(cand) * self.cycle_weight
+            + len(cand.instrs)
+        )
+
+    # -- the precise layers --------------------------------------------------
+
+    def strip_dead(self, cand: Candidate) -> Candidate:
+        """The goal-reachable sub-program, renumbered."""
+        from repro.stochastic.mutations import _remap, _renumber
+
+        live = self.live_set(cand)
+        if len(live) == len(cand.instrs):
+            return cand
+        mapping = {old: new for new, old in enumerate(live)}
+        instrs, goals = _remap(
+            [cand.instrs[i] for i in live], cand.goals, mapping
+        )
+        return Candidate(_renumber(instrs), goals)
+
+    def realize(self, cand: Candidate) -> Optional[Schedule]:
+        """Strip dead code, list-schedule and register-allocate; None if
+        the candidate cannot be placed (scheduler or allocator failure)
+        or fails the timing referee."""
+        cand = self.strip_dead(cand)
+        try:
+            placed = list_schedule(cand.instrs, self.spec)
+            schedule = schedule_from_placed(
+                cand.instrs,
+                cand.goals,
+                placed,
+                self.spec,
+                self.input_registers,
+            )
+        except (CompileError, AllocationError):
+            return None
+        report = simulate_timing(schedule, self.spec)
+        if not report.ok:
+            return None
+        return schedule
+
+    def full_check(self, schedule: Schedule) -> CheckReport:
+        """The acceptance oracle: full differential equivalence."""
+        return check_schedule(
+            self.gma,
+            schedule,
+            self.registry,
+            trials=self.verify_trials,
+            seed=self.verify_seed,
+            definitions=self.definitions,
+        )

@@ -1,0 +1,312 @@
+"""The proposal kernel: random structure-preserving program mutations.
+
+Candidates are straight-line programs in the conventional compiler's SSA
+virtual-instruction form (:class:`repro.baselines.compiler.VInstr`): each
+instruction's operands reference earlier instructions by index, named
+inputs, or immediates, and the goal values are references too.  The form
+is order-insensitive semantically — cycles and units are assigned later by
+the list scheduler — so mutations only need to preserve the SSA invariant
+(operands point strictly backwards).
+
+The move set follows STOKE's: replace an opcode (same arity, drawn from
+the target's executable repertoire), replace an operand, swap two
+instructions (which perturbs the list scheduler's priority tie-breaks),
+insert a fresh instruction, delete one (rewiring its readers to a
+substitute).  A separate low-probability move retargets a goal reference.
+Proposals that would break the SSA invariant are discarded and count as
+rejected — the chain never sees an ill-formed program.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.compiler import Ref, VInstr
+from repro.isa.spec import ArchSpec
+from repro.lang.gma import GMA
+from repro.terms.ops import OperatorRegistry, Sort
+from repro.terms.term import subterms
+from repro.terms.values import M64
+
+# Small constants worth proposing even when the goal never mentions them.
+_DEFAULT_LITERALS = (0, 1, 2, 3, 4, 7, 8, 15, 16, 24, 31, 32, 48, 63, 64,
+                     127, 128, 255)
+
+# Move names, in the order their weights are listed.  "replace" rewrites a
+# whole instruction (opcode and operands together) — the move that jumps
+# between idioms like ``sll;addq`` and ``s4addq`` in one step.
+MOVES = ("opcode", "operand", "replace", "swap", "insert", "delete", "goal")
+_WEIGHTS = (4, 4, 3, 2, 1, 1, 1)
+
+
+@dataclass
+class Candidate:
+    """One straight-line program: SSA instructions plus goal references."""
+
+    instrs: List[VInstr]
+    goals: List[Ref]
+
+    def copy(self) -> "Candidate":
+        return Candidate(list(self.instrs), list(self.goals))
+
+    def well_formed(self) -> bool:
+        """Every "v" operand points strictly backwards; vids match slots."""
+        for i, v in enumerate(self.instrs):
+            if v.vid != i:
+                return False
+            for ref in v.operands:
+                if ref.kind == "v" and not (0 <= ref.index < i):
+                    return False
+        for ref in self.goals:
+            if ref.kind == "v" and not (0 <= ref.index < len(self.instrs)):
+                return False
+        return True
+
+    def key(self) -> tuple:
+        """A hashable fingerprint (used by tests and duplicate detection)."""
+        return (
+            tuple((v.op, v.operands) for v in self.instrs),
+            tuple(self.goals),
+        )
+
+
+def _renumber(instrs: List[VInstr]) -> List[VInstr]:
+    return [
+        VInstr(v.op, v.operands, i, is_store=v.is_store)
+        for i, v in enumerate(instrs)
+    ]
+
+
+def _shift_ref(ref: Ref, mapping: Dict[int, int]) -> Ref:
+    if ref.kind != "v":
+        return ref
+    return Ref("v", index=mapping[ref.index])
+
+
+def _remap(instrs: List[VInstr], goals: List[Ref],
+           mapping: Dict[int, int]) -> Tuple[List[VInstr], List[Ref]]:
+    out = [
+        VInstr(
+            v.op,
+            tuple(_shift_ref(r, mapping) for r in v.operands),
+            v.vid,
+            is_store=v.is_store,
+        )
+        for v in instrs
+    ]
+    return out, [_shift_ref(r, mapping) for r in goals]
+
+
+def gma_literals(gma: GMA, spec: ArchSpec) -> Tuple[List[int], List[int]]:
+    """``(pool, hot)``: the immediate pool and the GMA's own constants.
+
+    The sampler draws from ``hot`` with elevated probability — a goal's
+    own constants (and their bit-lengths, shift-idiom material) are far
+    more likely to appear in a good program than arbitrary immediates.
+    """
+    hot = set()
+    for goal in gma.goal_terms():
+        for sub in subterms(goal):
+            if sub.is_const:
+                value = sub.value & M64
+                hot.add(value)
+                if value:
+                    hot.add(value.bit_length() - 1)
+    pool = set(_DEFAULT_LITERALS) | hot
+    return sorted(pool), sorted(hot)
+
+
+class MutationSpace:
+    """Everything a proposal draws from: repertoire, inputs, literals.
+
+    The repertoire is read off the active :class:`ArchSpec`: every
+    register-to-register machine operation with executable semantics
+    (loads, stores and the ``ldiq`` pseudo are excluded — the stochastic
+    backend's scope is register-only GMAs, and wide constants enter
+    candidates only through the seed program's ``ldiq`` instructions).
+    """
+
+    def __init__(
+        self,
+        spec: ArchSpec,
+        registry: OperatorRegistry,
+        inputs: List[str],
+        literals: List[int],
+        hot_literals: Optional[List[int]] = None,
+        max_instrs: int = 24,
+    ) -> None:
+        self.spec = spec
+        self.registry = registry
+        self.inputs = list(inputs)
+        self.literals = [v for v in literals if spec.fits_immediate(v)]
+        if not self.literals:
+            self.literals = [0, 1]
+        self.hot_literals = [
+            v for v in (hot_literals or ()) if spec.fits_immediate(v)
+        ]
+        self.max_instrs = max_instrs
+        self.ops_by_arity: Dict[int, List[str]] = {}
+        for op in sorted(spec.machine_ops()):
+            info = spec.info(op)
+            if info.kind != "alu":
+                continue
+            if op not in registry:
+                continue
+            sig = registry.get(op)
+            if sig.eval_fn is None or sig.result != Sort.INT:
+                continue
+            if any(p != Sort.INT for p in sig.params):
+                continue
+            self.ops_by_arity.setdefault(sig.arity, []).append(op)
+
+    # -- random pieces ------------------------------------------------------
+
+    def random_ref(self, rng: random.Random, limit: int) -> Ref:
+        """A reference valid at instruction position ``limit``."""
+        choices = []
+        if limit > 0:
+            choices.append("v")
+        if self.inputs:
+            choices.append("input")
+        choices.append("imm")
+        kind = rng.choice(choices)
+        if kind == "v":
+            return Ref("v", index=rng.randrange(limit))
+        if kind == "input":
+            return Ref("input", name=rng.choice(self.inputs))
+        if self.hot_literals and rng.random() < 0.5:
+            return Ref("imm", value=rng.choice(self.hot_literals))
+        return Ref("imm", value=rng.choice(self.literals))
+
+    def random_instr(self, rng: random.Random, position: int) -> Optional[VInstr]:
+        arities = sorted(self.ops_by_arity)
+        if not arities:
+            return None
+        arity = rng.choice(arities)
+        op = rng.choice(self.ops_by_arity[arity])
+        operands = tuple(self.random_ref(rng, position) for _ in range(arity))
+        return VInstr(op, operands, position)
+
+    # -- the moves ----------------------------------------------------------
+
+    def propose(
+        self, cand: Candidate, rng: random.Random
+    ) -> Optional[Tuple[Candidate, str]]:
+        """One random move; ``None`` when the drawn move is inapplicable."""
+        move = rng.choices(MOVES, weights=_WEIGHTS, k=1)[0]
+        new = getattr(self, "_move_" + move)(cand, rng)
+        if new is None or not new.well_formed():
+            return None
+        return new, move
+
+    def _mutable_positions(self, cand: Candidate) -> List[int]:
+        return [
+            i for i, v in enumerate(cand.instrs) if v.op != "ldiq"
+        ]
+
+    def _move_opcode(self, cand: Candidate, rng) -> Optional[Candidate]:
+        positions = self._mutable_positions(cand)
+        if not positions:
+            return None
+        i = rng.choice(positions)
+        v = cand.instrs[i]
+        pool = [op for op in self.ops_by_arity.get(len(v.operands), ())
+                if op != v.op]
+        if not pool:
+            return None
+        new = cand.copy()
+        new.instrs[i] = VInstr(rng.choice(pool), v.operands, i)
+        return new
+
+    def _move_operand(self, cand: Candidate, rng) -> Optional[Candidate]:
+        positions = self._mutable_positions(cand)
+        if not positions:
+            return None
+        i = rng.choice(positions)
+        v = cand.instrs[i]
+        if not v.operands:
+            return None
+        slot = rng.randrange(len(v.operands))
+        operands = list(v.operands)
+        operands[slot] = self.random_ref(rng, i)
+        new = cand.copy()
+        new.instrs[i] = VInstr(v.op, tuple(operands), i, is_store=v.is_store)
+        return new
+
+    def _move_replace(self, cand: Candidate, rng) -> Optional[Candidate]:
+        positions = self._mutable_positions(cand)
+        if not positions:
+            return None
+        i = rng.choice(positions)
+        fresh = self.random_instr(rng, i)
+        if fresh is None:
+            return None
+        new = cand.copy()
+        new.instrs[i] = fresh
+        return new
+
+    def _move_goal(self, cand: Candidate, rng) -> Optional[Candidate]:
+        if not cand.goals:
+            return None
+        slot = rng.randrange(len(cand.goals))
+        new = cand.copy()
+        new.goals[slot] = self.random_ref(rng, len(cand.instrs))
+        return new
+
+    def _move_swap(self, cand: Candidate, rng) -> Optional[Candidate]:
+        n = len(cand.instrs)
+        if n < 2:
+            return None
+        i = rng.randrange(n - 1)
+        j = rng.randrange(i + 1, n)
+        # Relabel i <-> j everywhere, then exchange the slots.  Validity
+        # (nothing between reads i; j reads nothing in [i, j)) is left to
+        # the caller's well_formed() check.
+        mapping = {k: k for k in range(n)}
+        mapping[i], mapping[j] = j, i
+        instrs, goals = _remap(cand.instrs, cand.goals, mapping)
+        instrs[i], instrs[j] = instrs[j], instrs[i]
+        return Candidate(_renumber(instrs), goals)
+
+    def _move_insert(self, cand: Candidate, rng) -> Optional[Candidate]:
+        if len(cand.instrs) >= self.max_instrs:
+            return None
+        p = rng.randrange(len(cand.instrs) + 1)
+        fresh = self.random_instr(rng, p)
+        if fresh is None:
+            return None
+        mapping = {
+            k: (k if k < p else k + 1) for k in range(len(cand.instrs))
+        }
+        instrs, goals = _remap(cand.instrs, cand.goals, mapping)
+        instrs.insert(p, fresh)
+        return Candidate(_renumber(instrs), goals)
+
+    def _move_delete(self, cand: Candidate, rng) -> Optional[Candidate]:
+        positions = self._mutable_positions(cand)
+        if not positions or len(cand.instrs) <= 1:
+            return None
+        p = rng.choice(positions)
+        substitute = self.random_ref(rng, p)
+        # Rewire readers of p to the substitute, then close the gap.
+        instrs: List[VInstr] = []
+        for v in cand.instrs:
+            if v.vid == p:
+                continue
+            operands = tuple(
+                substitute if (r.kind == "v" and r.index == p) else r
+                for r in v.operands
+            )
+            instrs.append(VInstr(v.op, operands, v.vid, is_store=v.is_store))
+        goals = [
+            substitute if (r.kind == "v" and r.index == p) else r
+            for r in cand.goals
+        ]
+        mapping = {
+            k: (k if k < p else k - 1) for k in range(len(cand.instrs))
+            if k != p
+        }
+        instrs, goals = _remap(instrs, goals, mapping)
+        return Candidate(_renumber(instrs), goals)

@@ -9,6 +9,6 @@ semantics over random and adversarial inputs, and validates the claimed
 cycle count on the timing model.
 """
 
-from repro.verify.checker import CheckReport, check_schedule
+from repro.verify.checker import CheckReport, Counterexample, check_schedule
 
-__all__ = ["CheckReport", "check_schedule"]
+__all__ = ["CheckReport", "Counterexample", "check_schedule"]

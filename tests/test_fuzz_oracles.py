@@ -56,7 +56,7 @@ class TestCheckCase:
     def test_all_oracles_constant(self):
         assert set(ALL_ORACLES) == {
             "asm-vs-eval", "solver-paths", "strategies", "matching",
-            "bruteforce",
+            "bruteforce", "stochastic",
         }
 
 
