@@ -244,6 +244,32 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    parser.add_argument(
+        "--fabric",
+        action="store_true",
+        help="serve as a fabric node: asyncio front end, consistent-hash "
+        "sharding over --peers, result gossip, load shedding",
+    )
+    parser.add_argument(
+        "--peers",
+        default=None,
+        metavar="URLS",
+        help="comma-separated URLs of other fabric nodes (implies "
+        "--fabric)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=512,
+        help="fabric admission bound: jobs admitted but unfinished "
+        "beyond this are shed with HTTP 429 (default: 512)",
+    )
+    parser.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual nodes per fabric member on the hash ring",
+    )
     return parser
 
 
@@ -581,6 +607,8 @@ def _compile_main(argv: List[str]) -> int:
 
 def _serve_main(argv: List[str]) -> int:
     args = build_serve_parser().parse_args(argv)
+    if args.fabric or args.peers:
+        return _serve_fabric(args)
     from repro.service import CompilationEngine, ResultStore, ServiceServer
 
     engine = CompilationEngine(
@@ -603,6 +631,51 @@ def _serve_main(argv: List[str]) -> int:
         print("draining...", file=sys.stderr)
         server.stop()
         return EXIT_INTERRUPTED
+    return EXIT_OK
+
+
+def _serve_fabric(args) -> int:
+    from repro.fabric import FabricNode
+
+    peers = [
+        url.strip()
+        for url in (args.peers or "").split(",")
+        if url.strip()
+    ]
+    node = FabricNode(
+        host=args.host,
+        port=args.port,
+        peers=peers,
+        workers=args.workers,
+        store_path=args.store,
+        max_queue=args.max_queue,
+        vnodes=args.vnodes,
+        max_retries=args.max_retries,
+        default_timeout=args.job_timeout,
+        verbose=args.verbose,
+    )
+    url = node.start()
+    print(
+        "repro fabric node %s listening on %s (%d workers, store=%s, "
+        "max-queue=%d, %d peer(s), corpus=%s)"
+        % (
+            node.node_id,
+            url,
+            args.workers,
+            args.store or "memory",
+            args.max_queue,
+            len(peers),
+            node.corpus_source,
+        ),
+        file=sys.stderr,
+    )
+    try:
+        node.wait_for_shutdown()
+    except KeyboardInterrupt:
+        print("draining...", file=sys.stderr)
+        node.stop(drain=True)
+        return EXIT_INTERRUPTED
+    node.stop(drain=True)
     return EXIT_OK
 
 
@@ -681,6 +754,11 @@ def _batch_remote(args, specs) -> int:
     from repro.service import ServiceClient, ServiceError
 
     client = ServiceClient(args.url)
+    # A fabric node answers /v1/fabric/ring; route on the ring if so.
+    from repro.fabric import FabricClient, is_fabric
+
+    if is_fabric(client):
+        client = FabricClient(args.url, shed_retries=3)
     status = EXIT_OK
     try:
         ids = client.submit(specs)

@@ -1,0 +1,236 @@
+"""Replicated result store: gossip completed work, ship warm corpora.
+
+Layered on :class:`repro.service.store.ResultStore` — the engine talks
+to a :class:`ReplicatedStore` exactly as it would to the local store,
+and every locally *computed* result is additionally queued for gossip to
+the other fabric members.  Replication is asynchronous and best-effort:
+a shed or lost replica costs at most one recompilation somewhere else,
+never correctness, so the gossip pump runs outside every request path.
+
+Replicated entries are written through :meth:`ReplicatedStore.put_replica`,
+which deliberately does **not** re-enqueue gossip — that is what keeps a
+full-mesh gossip fan-out from becoming a storm (every result travels at
+most one hop from the node that computed it).
+
+The second replication channel is the **compiled axiom corpus**: the
+single biggest cold-start cost of a new node.  A joining node calls
+:func:`fetch_corpus` against any healthy peer before constructing its
+engine; the peer ships the pickled corpus blob, the joiner drops it into
+its store under the version-fingerprinted key, and the engine's usual
+warm-start path (`CompilationEngine._warm_corpus`) finds it there — so a
+freshly joined node serves its first compile at warm-node latency
+(measured in ``benchmarks/bench_fabric.py``).
+"""
+
+from __future__ import annotations
+
+import base64
+import queue
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.store import ResultStore
+
+
+class ReplicationStats:
+    """Counters of one node's gossip traffic (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.queued = 0
+        self.sent = 0
+        self.send_failures = 0
+        self.received = 0
+        self.dropped = 0  # outbox full: oldest entries discarded
+
+    def to_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "queued": self.queued,
+                "sent": self.sent,
+                "send_failures": self.send_failures,
+                "received": self.received,
+                "dropped": self.dropped,
+            }
+
+
+class ReplicatedStore:
+    """A :class:`ResultStore` facade that gossips computed results.
+
+    Args:
+        local: the node-local backing store.
+        outbox_limit: bound on queued-but-unsent gossip entries; when
+            full the oldest entry is dropped (best-effort semantics).
+    """
+
+    def __init__(
+        self, local: Optional[ResultStore] = None, outbox_limit: int = 4096
+    ) -> None:
+        self.local = local if local is not None else ResultStore(None)
+        self.stats = ReplicationStats()
+        self.outbox: "queue.Queue[Tuple[str, dict]]" = queue.Queue(
+            maxsize=outbox_limit
+        )
+
+    # -- ResultStore interface (engine-facing) -----------------------------
+
+    @property
+    def path(self):
+        return self.local.path
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        return self.local.get(fingerprint)
+
+    def put(self, fingerprint: str, payload: dict) -> None:
+        """Store a locally computed result and queue it for gossip."""
+        self.local.put(fingerprint, payload)
+        with self.stats._lock:
+            self.stats.queued += 1
+        try:
+            self.outbox.put_nowait((fingerprint, payload))
+        except queue.Full:
+            try:
+                self.outbox.get_nowait()
+            except queue.Empty:
+                pass
+            with self.stats._lock:
+                self.stats.dropped += 1
+            try:
+                self.outbox.put_nowait((fingerprint, payload))
+            except queue.Full:
+                pass
+
+    def put_replica(self, fingerprint: str, payload: dict) -> None:
+        """Store a result gossiped by a peer (no re-gossip)."""
+        if fingerprint not in self.local:
+            self.local.put(fingerprint, payload)
+        with self.stats._lock:
+            self.stats.received += 1
+
+    def corpus_get(self, key: str):
+        return self.local.corpus_get(key)
+
+    def corpus_put(self, key: str, corpus) -> None:
+        self.local.corpus_put(key, corpus)
+
+    def corpus_blob_get(self, key: str) -> Optional[bytes]:
+        return self.local.corpus_blob_get(key)
+
+    def corpus_blob_put(self, key: str, blob: bytes) -> None:
+        self.local.corpus_blob_put(key, blob)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.local
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = self.local.to_dict()
+        out["replication"] = self.stats.to_dict()
+        return out
+
+    def close(self) -> None:
+        self.local.close()
+
+
+class GossipPump:
+    """Background thread draining a :class:`ReplicatedStore` outbox.
+
+    Each drained result is POSTed to every *alive* peer's
+    ``/v1/fabric/replicate``.  Failures mark the peer failed (feeding
+    the same liveness state the health loop maintains) and are counted,
+    not retried — the next result will try again, and a recovering peer
+    warms up from subsequent traffic plus its own compiles.
+    """
+
+    def __init__(self, store: ReplicatedStore, registry, client) -> None:
+        self.store = store
+        self.registry = registry  # NodeRegistry
+        self.client = client  # ServiceClient-compatible, multi-base
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-fabric-gossip"
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                fingerprint, payload = self.store.outbox.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            body = {"fingerprint": fingerprint, "payload": payload}
+            for peer in self.registry.peers():
+                if not peer.alive:
+                    continue
+                try:
+                    self.client._request(
+                        "/v1/fabric/replicate", body=body, base=peer.url
+                    )
+                except Exception:
+                    self.registry.mark_failed(peer.node_id)
+                    with self.store.stats._lock:
+                        self.store.stats.send_failures += 1
+                else:
+                    with self.store.stats._lock:
+                        self.store.stats.sent += 1
+
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Wait (best-effort) for the outbox to drain; tests only."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.store.outbox.empty():
+                return True
+            time.sleep(0.02)
+        return False
+
+
+# -- corpus shipping -----------------------------------------------------------
+
+
+def corpus_payload(store: ReplicatedStore, key: str) -> Optional[Dict[str, Any]]:
+    """The ``/v1/fabric/corpus`` response body, or None if not compiled."""
+    blob = store.corpus_blob_get(key)
+    if blob is None:
+        return None
+    return {
+        "key": key,
+        "blob": base64.b64encode(blob).decode("ascii"),
+        "bytes": len(blob),
+    }
+
+
+def install_corpus(store: ReplicatedStore, payload: Dict[str, Any]) -> bool:
+    """Install a peer-shipped corpus blob into the local store."""
+    key = payload.get("key")
+    blob64 = payload.get("blob")
+    if not key or not blob64:
+        return False
+    try:
+        blob = base64.b64decode(blob64)
+    except (ValueError, TypeError):
+        return False
+    store.corpus_blob_put(key, blob)
+    return True
+
+
+def fetch_corpus(client, peer_url: str, key: str) -> Optional[Dict[str, Any]]:
+    """Ask ``peer_url`` for its compiled corpus blob under ``key``."""
+    try:
+        payload = client._request(
+            "/v1/fabric/corpus?key=%s" % key, base=peer_url
+        )
+    except Exception:
+        return None
+    if payload.get("_http_status") != 200 or payload.get("key") != key:
+        return None
+    return payload

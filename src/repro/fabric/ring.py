@@ -1,0 +1,314 @@
+"""Consistent-hash ring and node registry for the compilation fabric.
+
+Job fingerprints are sharded over worker nodes with a classic
+virtual-node consistent-hash ring: each node owns ``vnodes`` points on a
+64-bit circle, a key belongs to the first node point at or clockwise of
+its hash.  Adding or removing one node therefore remaps only the keys
+adjacent to that node's points (~``1/n`` of the keyspace), never
+reshuffles the whole corpus — which is what keeps per-node warm stores
+and saturation caches hot across membership changes.
+
+Hashes come from :func:`hashlib.blake2b`, **not** :func:`hash`: ring
+placement must be identical in every process regardless of
+``PYTHONHASHSEED``, or two nodes would disagree about who owns a
+fingerprint.
+
+:class:`NodeRegistry` is the membership view one node holds: itself plus
+its configured (or join-announced) peers, each with a liveness flag
+maintained by the node's health-check loop.  Lookups route around dead
+nodes by walking to the next alive point on the ring, so a dead node's
+keyspace spills onto its ring successors and snaps back when it
+recovers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+
+def stable_hash(data: str) -> int:
+    """A process-stable 64-bit hash of ``data``."""
+    return int.from_bytes(
+        hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+def node_id_for_url(url: str) -> str:
+    """The canonical node id of an advertised URL.
+
+    Derived (not configured), so every fabric member computes the same
+    id — and thus the same ring — from the same peer list.
+    """
+    clean = url.rstrip("/")
+    return "n" + hashlib.blake2b(
+        clean.encode("utf-8"), digest_size=4
+    ).hexdigest()
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    Args:
+        vnodes: ring points per node.  More points → smoother balance
+            (relative spread ~ ``1/sqrt(vnodes)``) at slightly larger
+            lookup tables.
+    """
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[int] = []  # sorted point hashes
+        self._owners: List[str] = []  # node id owning each point
+        self._nodes: Set[str] = set()
+
+    # -- membership --------------------------------------------------------
+
+    def add_node(self, node_id: str) -> None:
+        if node_id in self._nodes:
+            return
+        self._nodes.add(node_id)
+        for i in range(self.vnodes):
+            point = stable_hash("%s#%d" % (node_id, i))
+            # Ties between different nodes' points are broken by node id
+            # so insertion order never influences placement.
+            index = bisect.bisect_left(self._points, point)
+            while (
+                index < len(self._points)
+                and self._points[index] == point
+                and self._owners[index] < node_id
+            ):
+                index += 1
+            self._points.insert(index, point)
+            self._owners.insert(index, node_id)
+
+    def remove_node(self, node_id: str) -> None:
+        if node_id not in self._nodes:
+            return
+        self._nodes.discard(node_id)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node_id
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def nodes(self) -> Set[str]:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- lookup ------------------------------------------------------------
+
+    def node_for(
+        self, key: str, alive: Optional[Set[str]] = None
+    ) -> Optional[str]:
+        """The node owning ``key``; dead nodes spill to ring successors."""
+        owners = self.nodes_for(key, 1, alive=alive)
+        return owners[0] if owners else None
+
+    def nodes_for(
+        self, key: str, count: int, alive: Optional[Set[str]] = None
+    ) -> List[str]:
+        """The first ``count`` distinct owners clockwise of ``key``."""
+        if not self._points or count < 1:
+            return []
+        eligible = self._nodes if alive is None else (self._nodes & alive)
+        if not eligible:
+            return []
+        start = bisect.bisect_left(self._points, stable_hash(key))
+        found: List[str] = []
+        seen: Set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner in seen or owner not in eligible:
+                continue
+            seen.add(owner)
+            found.append(owner)
+            if len(found) >= count:
+                break
+        return found
+
+
+@dataclass
+class PeerState:
+    """One fabric member as seen from the local node."""
+
+    node_id: str
+    url: str
+    is_self: bool = False
+    alive: bool = True
+    failures: int = 0
+    last_seen: float = field(default_factory=time.monotonic)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "id": self.node_id,
+            "url": self.url,
+            "self": self.is_self,
+            "alive": self.alive,
+            "failures": self.failures,
+        }
+
+
+class NodeRegistry:
+    """Thread-safe membership + liveness view backing one node's ring.
+
+    Args:
+        self_url: this node's advertised URL.
+        vnodes: ring points per node.
+        death_threshold: consecutive health-check failures before a peer
+            is routed around.
+    """
+
+    def __init__(
+        self,
+        self_url: str,
+        vnodes: int = 64,
+        death_threshold: int = 3,
+    ) -> None:
+        self._lock = threading.Lock()
+        self.death_threshold = death_threshold
+        self.ring = HashRing(vnodes=vnodes)
+        self.version = 0
+        self.self_id = node_id_for_url(self_url)
+        self._peers: Dict[str, PeerState] = {}
+        self._add_locked(self_url, is_self=True)
+
+    # -- membership --------------------------------------------------------
+
+    def _add_locked(self, url: str, is_self: bool = False) -> str:
+        node_id = node_id_for_url(url)
+        if node_id not in self._peers:
+            self._peers[node_id] = PeerState(
+                node_id=node_id, url=url.rstrip("/"), is_self=is_self
+            )
+            self.ring.add_node(node_id)
+            self.version += 1
+        return node_id
+
+    def add_peer(self, url: str) -> str:
+        """Register a peer (idempotent); returns its node id."""
+        with self._lock:
+            return self._add_locked(url)
+
+    def remove_peer(self, node_id: str) -> None:
+        with self._lock:
+            if node_id == self.self_id:
+                return
+            if self._peers.pop(node_id, None) is not None:
+                self.ring.remove_node(node_id)
+                self.version += 1
+
+    # -- liveness ----------------------------------------------------------
+
+    def mark_ok(self, node_id: str) -> None:
+        with self._lock:
+            peer = self._peers.get(node_id)
+            if peer is None:
+                return
+            peer.failures = 0
+            peer.last_seen = time.monotonic()
+            if not peer.alive:
+                peer.alive = True
+                self.version += 1
+
+    def mark_failed(self, node_id: str) -> None:
+        with self._lock:
+            peer = self._peers.get(node_id)
+            if peer is None or peer.is_self:
+                return
+            peer.failures += 1
+            if peer.alive and peer.failures >= self.death_threshold:
+                peer.alive = False
+                self.version += 1
+
+    # -- views -------------------------------------------------------------
+
+    def alive_ids(self) -> Set[str]:
+        with self._lock:
+            return {p.node_id for p in self._peers.values() if p.alive}
+
+    def peers(self, include_self: bool = False) -> List[PeerState]:
+        with self._lock:
+            return [
+                PeerState(**vars(p))
+                for p in self._peers.values()
+                if include_self or not p.is_self
+            ]
+
+    def url_of(self, node_id: str) -> Optional[str]:
+        with self._lock:
+            peer = self._peers.get(node_id)
+            return peer.url if peer else None
+
+    def owner_of(self, key: str) -> Optional[str]:
+        """The alive node owning ``key`` under the current view."""
+        with self._lock:
+            alive = {p.node_id for p in self._peers.values() if p.alive}
+            return self.ring.node_for(key, alive=alive)
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``/v1/fabric/ring`` payload."""
+        with self._lock:
+            return {
+                "version": self.version,
+                "self": self.self_id,
+                "vnodes": self.ring.vnodes,
+                "nodes": sorted(
+                    (p.describe() for p in self._peers.values()),
+                    key=lambda entry: entry["id"],
+                ),
+            }
+
+
+def ring_from_description(description: Dict[str, Any]) -> "RingView":
+    """Build a client-side routing view from ``/v1/fabric/ring`` JSON."""
+    view = RingView(vnodes=int(description.get("vnodes", 64)))
+    for entry in description.get("nodes", []):
+        view.add(entry["id"], entry["url"], alive=bool(entry.get("alive")))
+    view.version = int(description.get("version", 0))
+    return view
+
+
+class RingView:
+    """A read-only ring snapshot used by ring-aware clients."""
+
+    def __init__(self, vnodes: int = 64) -> None:
+        self.ring = HashRing(vnodes=vnodes)
+        self.urls: Dict[str, str] = {}
+        self.alive: Set[str] = set()
+        self.version = 0
+
+    def add(self, node_id: str, url: str, alive: bool = True) -> None:
+        self.ring.add_node(node_id)
+        self.urls[node_id] = url.rstrip("/")
+        if alive:
+            self.alive.add(node_id)
+
+    def url_for_key(self, key: str) -> Optional[str]:
+        owner = self.ring.node_for(key, alive=self.alive)
+        return self.urls.get(owner) if owner else None
+
+    def url_of(self, node_id: str) -> Optional[str]:
+        return self.urls.get(node_id)
+
+    def all_urls(self) -> List[str]:
+        return [self.urls[n] for n in sorted(self.urls)]
+
+
+def placement(
+    node_ids: Iterable[str], keys: Iterable[str], vnodes: int = 64
+) -> Dict[str, str]:
+    """key -> owning node id for a static membership (test/tool helper)."""
+    ring = HashRing(vnodes=vnodes)
+    for node_id in node_ids:
+        ring.add_node(node_id)
+    return {key: ring.node_for(key) for key in keys}

@@ -29,12 +29,17 @@ from repro.service.jobs import (
     JobError,
     JobSpec,
     JobState,
+    default_corpus_key,
     job_fingerprint,
     run_job,
 )
 from repro.service.pool import WorkerPool
 from repro.service.store import ResultStore
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceOverloadError,
+)
 from repro.service.server import ServiceServer
 
 __all__ = [
@@ -42,11 +47,13 @@ __all__ = [
     "JobError",
     "JobSpec",
     "JobState",
+    "default_corpus_key",
     "job_fingerprint",
     "run_job",
     "WorkerPool",
     "ResultStore",
     "ServiceClient",
     "ServiceError",
+    "ServiceOverloadError",
     "ServiceServer",
 ]

@@ -1,24 +1,59 @@
 """Stdlib HTTP client for the compilation service.
 
 Used by ``repro batch --url`` and the service tests; no dependencies
-beyond ``urllib``.  All methods raise :class:`ServiceError` on transport
-failures or non-2xx responses (except 202, which :meth:`result` treats
-as "not done yet").
+beyond ``http.client``.  Connections are **kept alive** and reused
+across requests (one pool per thread, so a multi-threaded soak driver
+never shares a socket), with ``TCP_NODELAY`` set so small JSON requests
+don't stall on Nagle/delayed-ACK.  Transient connection resets — the
+server recycling an idle keep-alive socket, a node restarting — are
+retried with jittered exponential backoff before surfacing as
+:class:`ServiceError`.
+
+All methods raise :class:`ServiceError` on transport failures or
+non-2xx responses, with two refinements:
+
+* 202 is "result not ready yet" (returned, not raised);
+* 429 raises :class:`ServiceOverloadError` carrying the server's
+  ``Retry-After`` hint — load shedding is an explicit signal to the
+  caller, never silently retried.
+
+Redirects (307 from a fabric node that doesn't own a job) are followed
+transparently, which makes this plain client work against a sharded
+fabric front end; :class:`repro.fabric.client.FabricClient` avoids the
+extra hop by routing on the ring directly.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import socket
+import threading
 import time
-import urllib.error
-import urllib.request
-from typing import Any, Dict, List, Optional, Sequence
+import urllib.parse
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.service.jobs import JobSpec
+
+_REDIRECT_CODES = (301, 302, 307, 308)
+_MAX_REDIRECTS = 4
 
 
 class ServiceError(Exception):
     """Transport or protocol failure talking to the service."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The server shed the request (HTTP 429).
+
+    Attributes:
+        retry_after: the server's suggested backoff in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -27,44 +62,147 @@ class ServiceClient:
     Args:
         url: base URL, e.g. ``http://127.0.0.1:8642``.
         timeout: per-request socket timeout in seconds.
+        retries: extra attempts after a connection reset/refusal.
+        backoff: base retry delay; doubles per attempt, with jitter.
     """
 
-    def __init__(self, url: str, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._pool = threading.local()  # netloc -> HTTPConnection, per thread
 
     # -- transport ---------------------------------------------------------
 
-    def _request(
-        self, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
-        data = None
-        headers = {"Accept": "application/json"}
-        if body is not None:
-            data = json.dumps(body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        req = urllib.request.Request(
-            self.url + path, data=data, headers=headers
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                payload = json.loads(resp.read().decode("utf-8"))
-                payload["_http_status"] = resp.status
-                return payload
-        except urllib.error.HTTPError as exc:
+    def _connections(self) -> Dict[str, http.client.HTTPConnection]:
+        pool = getattr(self._pool, "conns", None)
+        if pool is None:
+            pool = self._pool.conns = {}
+        return pool
+
+    def _connection(self, netloc: str) -> http.client.HTTPConnection:
+        pool = self._connections()
+        conn = pool.get(netloc)
+        if conn is None:
+            conn = http.client.HTTPConnection(netloc, timeout=self.timeout)
+            conn.connect()
             try:
-                detail = json.loads(exc.read().decode("utf-8"))
+                conn.sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            except OSError:
+                pass
+            pool[netloc] = conn
+        return conn
+
+    def _drop(self, netloc: str) -> None:
+        conn = self._connections().pop(netloc, None)
+        if conn is not None:
+            try:
+                conn.close()
             except Exception:
-                detail = {}
-            if exc.code == 202:  # result not ready: not an error
-                detail["_http_status"] = 202
-                return detail
-            raise ServiceError(
-                "HTTP %d on %s: %s"
-                % (exc.code, path, detail.get("error", exc.reason))
+                pass
+
+    def _roundtrip(
+        self, netloc: str, method: str, path: str, data: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        headers = {"Accept": "application/json"}
+        if data is not None:
+            headers["Content-Type"] = "application/json"
+        conn = self._connection(netloc)
+        conn.request(method, path, body=data, headers=headers)
+        resp = conn.getresponse()
+        raw = resp.read()
+        resp_headers = {k.lower(): v for k, v in resp.getheaders()}
+        if resp.will_close:
+            self._drop(netloc)
+        return resp.status, resp_headers, raw
+
+    def _request(
+        self,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        base: Optional[str] = None,
+        _hops: int = 0,
+    ) -> Dict[str, Any]:
+        base = (base or self.url).rstrip("/")
+        netloc = urllib.parse.urlsplit(base).netloc
+        method = "GET" if body is None else "POST"
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        status = headers = raw = None
+        for attempt in range(self.retries + 1):
+            try:
+                status, headers, raw = self._roundtrip(
+                    netloc, method, path, data
+                )
+                break
+            except (OSError, http.client.HTTPException) as exc:
+                # Connection reset/refused, stale keep-alive socket, or a
+                # half-written response: drop the pooled connection and
+                # retry with jittered backoff.
+                self._drop(netloc)
+                if attempt >= self.retries:
+                    raise ServiceError(
+                        "cannot reach %s: %s" % (base, exc)
+                    )
+                time.sleep(
+                    self.backoff
+                    * (2 ** attempt)
+                    * (0.5 + random.random())
+                )
+        if status in _REDIRECT_CODES and _hops < _MAX_REDIRECTS:
+            location = headers.get("location")
+            if location:
+                split = urllib.parse.urlsplit(location)
+                new_base = "%s://%s" % (
+                    split.scheme or "http",
+                    split.netloc or netloc,
+                )
+                new_path = split.path + (
+                    "?" + split.query if split.query else ""
+                )
+                return self._request(
+                    new_path, body=body, base=new_base, _hops=_hops + 1
+                )
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError):
+            payload = {}
+        if not isinstance(payload, dict):
+            payload = {"value": payload}
+        payload["_http_status"] = status
+        if status == 202:  # result not ready: not an error
+            return payload
+        if status == 429:
+            try:
+                retry_after = float(headers.get("retry-after", "1"))
+            except ValueError:
+                retry_after = 1.0
+            raise ServiceOverloadError(
+                "%s shed %s (retry after %.1fs)"
+                % (base, path, retry_after),
+                retry_after=retry_after,
             )
-        except (urllib.error.URLError, OSError) as exc:
-            raise ServiceError("cannot reach %s: %s" % (self.url, exc))
+        if not 200 <= (status or 0) < 300:
+            raise ServiceError(
+                "HTTP %s on %s: %s"
+                % (status, path, payload.get("error", ""))
+            )
+        return payload
+
+    def close(self) -> None:
+        """Close this thread's pooled connections."""
+        for netloc in list(self._connections()):
+            self._drop(netloc)
 
     # -- endpoints ---------------------------------------------------------
 

@@ -132,6 +132,22 @@ def job_fingerprint(spec: JobSpec) -> str:
     return digest[:32]
 
 
+def default_corpus_key() -> str:
+    """Store key of the compiled built-in axiom corpus.
+
+    Version- and registry-fingerprinted, so a fabric node never preloads
+    a corpus compiled by an incompatible peer.
+    """
+    from repro import __version__
+    from repro.core.cache import registry_fingerprint
+    from repro.terms.ops import default_registry
+
+    digest = hashlib.sha256(
+        repr(registry_fingerprint(default_registry())).encode("utf-8")
+    ).hexdigest()
+    return "default:%s:%s" % (__version__, digest[:16])
+
+
 # -- worker-side execution -----------------------------------------------------
 
 
@@ -398,14 +414,7 @@ class CompilationEngine:
     # -- warm start --------------------------------------------------------
 
     def _corpus_key(self) -> str:
-        from repro import __version__
-        from repro.core.cache import registry_fingerprint
-        from repro.terms.ops import default_registry
-
-        digest = hashlib.sha256(
-            repr(registry_fingerprint(default_registry())).encode("utf-8")
-        ).hexdigest()
-        return "default:%s:%s" % (__version__, digest[:16])
+        return default_corpus_key()
 
     def _warm_corpus(self) -> None:
         from repro.core import cache as _cache
@@ -642,6 +651,28 @@ class CompilationEngine:
             record.done.set()
         self.pool.cancel(job_id, kill_running=kill_running)
         return True
+
+    def backlog(self) -> int:
+        """Unique compilations admitted but not yet finished.
+
+        O(1) — the fabric front end calls this on *every* submission
+        when deciding whether to shed load, so it must not scale with
+        the (ever-growing) job-record table.  Coalesced duplicates
+        share one in-flight entry and count once: shedding is about
+        outstanding work, not outstanding ids.
+        """
+        with self._lock:
+            return len(self._inflight)
+
+    def queue_stats(self) -> Dict[str, Any]:
+        """Lightweight backlog/latency snapshot for admission control."""
+        with self._lock:
+            recent = self._latencies[-64:]
+            return {
+                "backlog": len(self._inflight),
+                "p50_seconds": round(_percentile(recent, 0.50), 6),
+                "workers": len(self.pool.stats()),
+            }
 
     def metrics(self) -> Dict[str, Any]:
         """Aggregate service metrics (the ``/v1/metrics`` payload)."""

@@ -36,6 +36,9 @@ class _Handler(BaseHTTPRequestHandler):
     shutdown_event: threading.Event = None  # type: ignore[assignment]
 
     protocol_version = "HTTP/1.1"
+    # Headers and body are written separately; without TCP_NODELAY a
+    # keep-alive client stalls ~40ms per request on Nagle/delayed-ACK.
+    disable_nagle_algorithm = True
 
     # -- plumbing ----------------------------------------------------------
 

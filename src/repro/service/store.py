@@ -80,6 +80,16 @@ class ResultStore:
             # One shared connection, serialized by our lock (handlers may
             # call from several server threads).
             self._db = sqlite3.connect(path, check_same_thread=False)
+            # WAL lets node-local readers (metrics, warm-start probes,
+            # fabric soak load) proceed during writes instead of hitting
+            # "database is locked"; busy_timeout covers the rest.  Some
+            # filesystems refuse WAL — fall back to the default journal.
+            try:
+                self._db.execute("PRAGMA busy_timeout = 5000")
+                self._db.execute("PRAGMA journal_mode = WAL")
+                self._db.execute("PRAGMA synchronous = NORMAL")
+            except sqlite3.Error:
+                pass
             self._db.executescript(_SCHEMA)
             self._db.commit()
 
@@ -158,7 +168,21 @@ class ResultStore:
             return None  # stale/incompatible blob: recompile instead
 
     def corpus_put(self, key: str, corpus) -> None:
-        blob = pickle.dumps(corpus, protocol=pickle.HIGHEST_PROTOCOL)
+        self.corpus_blob_put(
+            key, pickle.dumps(corpus, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def corpus_blob_get(self, key: str) -> Optional[bytes]:
+        """The raw pickled corpus blob (for shipping to fabric peers)."""
+        with self._lock:
+            if self._mem_corpora is not None:
+                return self._mem_corpora.get(key)
+            row = self._db.execute(
+                "SELECT blob FROM corpora WHERE key = ?", (key,)
+            ).fetchone()
+            return bytes(row[0]) if row else None
+
+    def corpus_blob_put(self, key: str, blob: bytes) -> None:
         with self._lock:
             if self._mem_corpora is not None:
                 self._mem_corpora[key] = blob
