@@ -91,6 +91,14 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         "the loser)",
     )
     parser.add_argument(
+        "--extraction",
+        choices=["greedy", "exact"],
+        default="greedy",
+        help="schedule selection at the proved cycle count: the ladder's "
+        "canonical greedy decode, or an exact selected-term cost "
+        "minimisation on the incremental solver",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=0,
@@ -500,6 +508,7 @@ def _compile_main(argv: List[str]) -> int:
         miss_latency=args.miss_latency,
         enable_incremental_solver=not args.no_incremental,
         backend=args.backend,
+        extraction=args.extraction,
         seed=args.seed,
         stochastic=StochasticConfig(
             seed=args.mcmc_seed,
@@ -705,6 +714,7 @@ def _batch_specs(args) -> List:
                 incremental=not args.no_incremental,
                 incremental_match=not args.no_incremental_match,
                 backend=args.backend,
+                extraction=args.extraction,
                 seed=args.seed,
                 mcmc_seed=args.mcmc_seed,
                 mcmc_chains=args.mcmc_chains,
@@ -1100,6 +1110,7 @@ def _write_profile_json(args, collected) -> None:
                     k: round(v, 6) for k, v in stats.timings.items()
                 },
                 "saturation": saturation,
+                "extraction": stats.extraction,
                 "stochastic": stats.stochastic,
                 "flat_cores": flat_cores,
                 "probes": probes,
@@ -1109,6 +1120,7 @@ def _write_profile_json(args, collected) -> None:
         "source": args.source,
         "strategy": args.strategy,
         "backend": getattr(args, "backend", "sat"),
+        "extraction": getattr(args, "extraction", "greedy"),
         "incremental": not args.no_incremental,
         "incremental_match": not args.no_incremental_match,
         "gmas": gmas,

@@ -30,6 +30,11 @@ from repro.terms.term import Term
 # sampler, or both racing (first verified winner cancels the loser).
 BACKENDS = ("sat", "stochastic", "race")
 
+# How the winning cycle count's schedule is chosen: "greedy" keeps the
+# ladder's canonical lex-least decode; "exact" re-enters the incremental
+# solver to minimise selected-term cost among the same-cycle schedules.
+EXTRACTION_MODES = ("greedy", "exact")
+
 
 @dataclass
 class DenaliConfig:
@@ -71,6 +76,11 @@ class DenaliConfig:
     # verifier's trial generator, so a CLI line reproduces a run exactly.
     seed: int = 0
     stochastic: StochasticConfig = field(default_factory=StochasticConfig)
+    # Extraction mode (see EXTRACTION_MODES) plus the exact refiner's
+    # effort knobs: conflicts per cost-ladder solve and solve count cap.
+    extraction: str = "greedy"
+    extraction_conflict_budget: Optional[int] = 50_000
+    extraction_max_solves: int = 12
 
 
 @dataclass
@@ -158,6 +168,11 @@ class Denali:
         # and64 alternatives for mask operations (see SaturationConfig).
         if not spec.is_machine_op("mskbl"):
             self.config.saturation.synthesize_mask_alternatives = True
+        # Exact-extraction memo: the refinement is deterministic given
+        # the same goals/budget/knobs (like saturation, its answer is a
+        # pure function of the inputs), so repeat compiles through this
+        # instance reuse the refined schedule instead of re-proving it.
+        self._extraction_memo: Dict = {}
 
     # -- public -------------------------------------------------------------
 
@@ -237,6 +252,11 @@ class Denali:
         the first verified winner cancels the loser.
         """
         cfg = self.config
+        if cfg.extraction not in EXTRACTION_MODES:
+            raise ValueError(
+                "unknown extraction mode %r (expected one of %s)"
+                % (cfg.extraction, ", ".join(EXTRACTION_MODES))
+            )
         if input_registers is None:
             input_registers = self._default_input_registers(gma)
         if cfg.backend == "stochastic":
@@ -302,6 +322,13 @@ class Denali:
         )
 
         schedule = outcome.best_payload
+        # Phase 2b: extraction — record the greedy decode's selected-term
+        # cost, or (extraction="exact") re-enter the persistent solver
+        # for the cheapest same-cycle schedule.  Runs before output
+        # binding so the refined schedule gets its own late moves.
+        schedule = session.refine_extraction(
+            eg, schedule, outcome.best_cycles, input_registers, overrides
+        )
         bind = cfg.bind_outputs if bind_outputs is None else bind_outputs
         if schedule is not None and bind:
             from repro.core import moves

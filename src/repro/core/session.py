@@ -54,6 +54,9 @@ class StageStats:
     timings: Dict[str, float] = field(default_factory=dict)
     probes: List[Probe] = field(default_factory=list)
     saturation: Optional[SaturationStats] = None
+    # The extraction stage's record (mode, selected-term costs, solver
+    # effort) — present for both the greedy and the exact mode.
+    extraction: Optional[dict] = None
     cache: Dict[str, int] = field(
         default_factory=lambda: {
             "saturation_hits": 0,
@@ -122,6 +125,7 @@ class StageStats:
             "timings": {k: round(v, 6) for k, v in self.timings.items()},
             "probes": [p.to_dict() for p in self.probes],
             "saturation": sat,
+            "extraction": self.extraction,
             "cache": dict(self.cache),
             "best_cycles": self.best_cycles,
             "optimal": self.optimal,
@@ -153,6 +157,17 @@ def aggregate_stats(collected: List["StageStats"]) -> dict:
         "matches_pruned": 0,
     }
     budget_hits: Dict[str, int] = {}
+    extraction: Dict[str, int] = {
+        "sessions": 0,
+        "exact_sessions": 0,
+        "improved": 0,
+        "proved": 0,
+        "greedy_cost": 0,
+        "exact_cost": 0,
+        "solves": 0,
+        "pruned": 0,
+        "fallbacks": 0,
+    }
     # Per-backend win counts: which engine produced the kept schedule.
     wins: Dict[str, int] = {"sat": 0, "stochastic": 0}
     stochastic: Dict[str, int] = {
@@ -192,6 +207,19 @@ def aggregate_stats(collected: List["StageStats"]) -> dict:
                 "restarts",
             ):
                 stochastic[key] += totals.get(key, 0)
+        ext = stats.extraction
+        if ext is not None:
+            extraction["sessions"] += 1
+            if ext.get("mode") == "exact":
+                extraction["exact_sessions"] += 1
+                extraction["improved"] += 1 if ext.get("improved") else 0
+                extraction["proved"] += 1 if ext.get("proved") else 0
+                extraction["greedy_cost"] += ext.get("greedy_cost") or 0
+                extraction["exact_cost"] += ext.get("exact_cost") or 0
+                extraction["solves"] += ext.get("solves", 0)
+                extraction["pruned"] += ext.get("pruned", 0)
+                if ext.get("fallback"):
+                    extraction["fallbacks"] += 1
         sat = stats.saturation
         if sat is not None:
             saturation["sessions"] += 1
@@ -219,6 +247,7 @@ def aggregate_stats(collected: List["StageStats"]) -> dict:
         "timings": {k: round(v, 6) for k, v in timings.items()},
         "cache": cache,
         "saturation": saturation,
+        "extraction": extraction,
         "backend_wins": wins,
         "stochastic": stochastic,
     }
@@ -568,6 +597,94 @@ class CompilationSession:
         self.stats.best_cycles = outcome.best_cycles
         self.stats.optimal = outcome.optimal
         return outcome
+
+    # -- stage 4b: extraction refinement ---------------------------------------
+
+    def refine_extraction(
+        self,
+        eg: EGraph,
+        schedule,
+        cycles: Optional[int],
+        input_registers: Dict[str, str],
+        overrides: Optional[Dict[ENode, int]] = None,
+        cancel: Optional[Callable[[], bool]] = None,
+    ):
+        """Minimise the schedule's selected-term cost (``extraction=exact``).
+
+        In the default ``greedy`` mode this only records the decoded
+        schedule's cost; in ``exact`` mode it re-enters the session's
+        persistent solver (see :mod:`repro.extraction.refine`) and may
+        return a cheaper schedule of the same cycle count.  Falls back to
+        the greedy schedule — with the reason in the stats record — when
+        the incremental path was disabled or no schedule exists.
+        """
+        from repro.extraction.costs import latency_cost
+        from repro.extraction.refine import greedy_stats, refine_exact
+
+        cfg = self.config
+        cost = latency_cost(self.spec, overrides)
+        if cfg.extraction != "exact":
+            self.stats.extraction = greedy_stats(schedule, cost)
+            return schedule
+        if schedule is None or cycles is None:
+            self.stats.extraction = {
+                "mode": "exact",
+                "cost": None,
+                "fallback": "no-schedule",
+            }
+            return schedule
+        enc, solver = self._encoder, self._solver
+        if enc is None or solver is None:
+            record = greedy_stats(schedule, cost)
+            record.update({"mode": "exact", "fallback": "no-incremental"})
+            self.stats.extraction = record
+            return schedule
+        # The refinement is a pure function of (goals, axioms, budget,
+        # registers, overrides, knobs): repeat compiles through the same
+        # Denali reuse the proved answer instead of re-entering the
+        # solver (mirrors the saturation snapshot cache).
+        memo = getattr(self.denali, "_extraction_memo", None)
+        key = None
+        if memo is not None:
+            key = (
+                _cache.saturation_key(
+                    self.gma.goal_terms(), self.axioms, self.registry,
+                    cfg.saturation,
+                ),
+                cycles,
+                tuple(sorted(input_registers.items())),
+                tuple(
+                    sorted((repr(n), lat) for n, lat in (overrides or {}).items())
+                ),
+                cfg.extraction_conflict_budget,
+                cfg.extraction_max_solves,
+            )
+            hit = memo.get(key)
+            if hit is not None:
+                best, record = hit
+                record = dict(record)
+                record["cached"] = True
+                self.stats.extraction = record
+                return best
+        with _StageTimer(self.stats, "extraction"):
+            with self._lock:
+                best, record = refine_exact(
+                    eg,
+                    enc,
+                    solver,
+                    cycles,
+                    schedule,
+                    input_registers,
+                    live_budgets=sorted(self._fed_budgets),
+                    saturation=self.stats.saturation,
+                    conflict_budget=cfg.extraction_conflict_budget,
+                    max_solves=cfg.extraction_max_solves,
+                    stop_check=self._stop(cancel),
+                )
+        self.stats.extraction = record
+        if memo is not None and key is not None:
+            memo[key] = (best, dict(record))
+        return best
 
     # -- stage 5: verification -------------------------------------------------
 

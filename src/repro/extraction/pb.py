@@ -1,0 +1,87 @@
+"""Pseudo-boolean cost counting for the exact selector.
+
+A truncated **weighted sequential counter** (Sinz-style, unary): after
+feeding items ``(lit_1, w_1) .. (lit_n, w_n)`` the counter's output row
+holds one variable per threshold ``c`` meaning "the weighted sum of the
+true items is at least ``c``".  Only the implication *towards* the sum
+variables is emitted — the counter over-approximates ``>=`` — which is
+exactly what bounding needs: assuming ``-geq(C + 1)`` forces the sum to
+stay ``<= C``, while leaving the formula unconstrained when no bound is
+assumed.  That makes the counter clauses safe to add *permanently* to a
+persistent solver; every bound of the budget ladder is just an
+assumption literal, never a retraction.
+
+Thresholds are tracked only up to ``cap + 1``: the ladder starts at the
+greedy selection's cost and only ever walks down, so sums beyond the
+greedy cost are indistinguishable and share the saturated top cell.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+
+class WeightedCounter:
+    """Unary weighted counter over literals, truncated at ``cap + 1``.
+
+    ``new_var`` allocates a fresh positive variable; ``emit`` receives
+    each clause (a list of non-zero literals).  Both are callbacks so
+    one implementation serves the scheduling encoder's master CNF and
+    the standalone selector's private solver.
+    """
+
+    def __init__(
+        self,
+        new_var: Callable[[], int],
+        emit: Callable[[List[int]], None],
+        cap: int,
+    ) -> None:
+        if cap < 0:
+            raise ValueError("cap must be non-negative")
+        self._new_var = new_var
+        self._emit = emit
+        self.cap = cap
+        self.items = 0
+        self.weight_total = 0
+        self._row: List[int] = []  # index c-1 -> var for "sum >= c"
+
+    def add(self, lit: int, weight: int) -> None:
+        """Count ``weight`` towards the sum whenever ``lit`` is true."""
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        self.items += 1
+        if weight == 0:
+            return
+        self.weight_total += weight
+        prev = self._row
+        width = min(self.cap + 1, self.weight_total)
+        row: List[int] = []
+        for c in range(width):  # cell c encodes "sum >= c + 1"
+            v = self._new_var()
+            if c < len(prev):
+                self._emit([-prev[c], v])  # carry: sum was already there
+            if c < weight:
+                self._emit([-lit, v])  # the item alone reaches c + 1
+            elif c - weight < len(prev):
+                self._emit([-lit, -prev[c - weight], v])
+            row.append(v)
+        self._row = row
+
+    def geq(self, threshold: int) -> Optional[int]:
+        """The variable asserting ``sum >= threshold`` (None if absurd).
+
+        ``None`` means the total weight can never reach ``threshold`` —
+        the caller's bound is trivially satisfied and needs no
+        assumption.  Thresholds above ``cap + 1`` were truncated away
+        and must not be asked for.
+        """
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if threshold > self.cap + 1:
+            raise ValueError(
+                "threshold %d exceeds the counter cap %d"
+                % (threshold, self.cap)
+            )
+        if threshold - 1 < len(self._row):
+            return self._row[threshold - 1]
+        return None

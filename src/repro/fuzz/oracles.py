@@ -65,6 +65,7 @@ class OracleError(Exception):
 # The oracle names, in the order they run.
 ORACLE_ASM = "asm-vs-eval"
 ORACLE_SOLVER = "solver-paths"
+ORACLE_EXTRACTION = "extraction"
 ORACLE_STRATEGY = "strategies"
 ORACLE_MATCHING = "matching"
 ORACLE_BRUTE = "bruteforce"
@@ -74,6 +75,7 @@ ORACLE_CRASH = "crash"
 ALL_ORACLES = (
     ORACLE_ASM,
     ORACLE_SOLVER,
+    ORACLE_EXTRACTION,
     ORACLE_STRATEGY,
     ORACLE_MATCHING,
     ORACLE_BRUTE,
@@ -173,6 +175,7 @@ def _make_config(
     strategy: SearchStrategy,
     incremental: bool,
     incremental_match: bool = True,
+    extraction: str = "greedy",
 ) -> DenaliConfig:
     return DenaliConfig(
         min_cycles=1,
@@ -180,6 +183,7 @@ def _make_config(
         strategy=strategy,
         verify=False,  # the oracle layer runs its own checks
         enable_incremental_solver=incremental,
+        extraction=extraction,
         saturation=SaturationConfig(
             max_rounds=options.max_rounds,
             max_enodes=options.max_enodes,
@@ -196,13 +200,16 @@ def _compile_path(
     strategy: SearchStrategy = SearchStrategy.BINARY,
     incremental: bool = True,
     incremental_match: bool = True,
+    extraction: str = "greedy",
     label: str = "",
 ) -> CompilationResult:
     den = Denali(
         ev6(),
         axioms=axioms,
         registry=registry,
-        config=_make_config(options, strategy, incremental, incremental_match),
+        config=_make_config(
+            options, strategy, incremental, incremental_match, extraction
+        ),
     )
     return den.compile_gma(gma, label=label)
 
@@ -464,6 +471,96 @@ def _check_stochastic(
             ))
 
 
+# -- the extraction oracle -----------------------------------------------------
+
+
+def _check_extraction(
+    report: CaseReport,
+    gma: GMA,
+    base: CompilationResult,
+    registry: OperatorRegistry,
+    axioms,
+    options: OracleOptions,
+    label: str,
+    seed: Optional[int],
+    source: str,
+) -> None:
+    """Exact extraction must be sound, never worse, and deterministic.
+
+    The base (greedy) compile is one arm; two independent
+    ``extraction="exact"`` compiles (fresh :class:`Denali` instances, so
+    no memo can mask non-determinism) are the other.  Checks: the exact
+    schedule verifies against the reference evaluator, keeps the proved
+    cycle count, its selected-term cost is <= greedy's, and the two
+    exact runs are byte-identical.
+    """
+    exact = _compile_path(
+        gma, registry, axioms, options, extraction="exact", label=label
+    )
+    exact2 = _compile_path(
+        gma, registry, axioms, options, extraction="exact", label=label
+    )
+    report.count(ORACLE_EXTRACTION)
+    if _outcome_fingerprint(exact) != _outcome_fingerprint(exact2):
+        report.divergences.append(Divergence(
+            oracle=ORACLE_EXTRACTION, label=label, seed=seed, source=source,
+            detail=_describe_mismatch(
+                exact, exact2, "exact extraction run 1 vs run 2"
+            ),
+        ))
+        return
+    if (exact.schedule is None) != (base.schedule is None):
+        report.divergences.append(Divergence(
+            oracle=ORACLE_EXTRACTION, label=label, seed=seed, source=source,
+            detail="exact extraction changed feasibility: greedy %s a "
+                   "schedule, exact %s one"
+                   % ("found" if base.schedule is not None else "lacks",
+                      "found" if exact.schedule is not None else "lacks"),
+        ))
+        return
+    if exact.schedule is None:
+        return
+    if exact.cycles != base.cycles:
+        report.divergences.append(Divergence(
+            oracle=ORACLE_EXTRACTION, label=label, seed=seed, source=source,
+            detail="exact extraction changed the cycle count: %s vs "
+                   "greedy's %s" % (exact.cycles, base.cycles),
+        ))
+        return
+    g_rec = (base.stats.extraction or {}) if base.stats else {}
+    x_rec = (exact.stats.extraction or {}) if exact.stats else {}
+    g_cost, x_cost = g_rec.get("cost"), x_rec.get("cost")
+    if g_cost is None or x_cost is None:
+        report.divergences.append(Divergence(
+            oracle=ORACLE_EXTRACTION, label=label, seed=seed, source=source,
+            detail="extraction stats missing a cost: greedy %r, exact %r"
+                   % (g_rec, x_rec),
+        ))
+        return
+    if x_cost > g_cost:
+        report.divergences.append(Divergence(
+            oracle=ORACLE_EXTRACTION, label=label, seed=seed, source=source,
+            detail="exact extraction is worse than greedy: cost %d vs %d\n"
+                   "--- greedy\n%s\n--- exact\n%s"
+                   % (x_cost, g_cost, base.schedule.render(),
+                      exact.schedule.render()),
+        ))
+        return
+    check = check_schedule(
+        gma, exact.schedule, registry,
+        trials=options.verify_trials,
+        definitions=axioms.definitions(),
+    )
+    if not check.passed:
+        report.divergences.append(Divergence(
+            oracle=ORACLE_EXTRACTION, label=label, seed=seed, source=source,
+            detail="exact extraction's schedule disagrees with the "
+                   "reference evaluator: %s\n%s"
+                   % ("; ".join(check.failures[:3]),
+                      exact.schedule.render()),
+        ))
+
+
 # -- the entry point -----------------------------------------------------------
 
 
@@ -571,6 +668,20 @@ def _check_case_inner(
                             base, scratch, "incremental vs scratch"
                         ),
                     ))
+
+        if options.wants(ORACLE_EXTRACTION):
+            try:
+                _check_extraction(
+                    report, gma, base, registry, axioms, options, label,
+                    seed, source,
+                )
+            except Exception as exc:
+                report.divergences.append(Divergence(
+                    oracle=ORACLE_EXTRACTION, label=label, seed=seed,
+                    source=source,
+                    detail="extraction oracle crashed: %s: %s"
+                           % (type(exc).__name__, exc),
+                ))
 
         if options.wants(ORACLE_STRATEGY):
             for strategy in (SearchStrategy.LINEAR, SearchStrategy.PORTFOLIO):

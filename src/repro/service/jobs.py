@@ -68,6 +68,7 @@ class JobSpec:
     incremental: bool = True  # persistent solver across the probe ladder
     incremental_match: bool = True  # dirty-cone matching during saturation
     backend: str = "sat"  # "sat" | "stochastic" | "race"
+    extraction: str = "greedy"  # "greedy" | "exact" schedule selection
     seed: int = 0  # session seed (stochastic chains + verifier trials)
     mcmc_seed: int = 0
     mcmc_chains: int = 4
@@ -108,6 +109,7 @@ _SEMANTIC_FIELDS = (
     "incremental",
     "incremental_match",
     "backend",
+    "extraction",
     "seed",
     "mcmc_seed",
     "mcmc_chains",
@@ -205,6 +207,7 @@ def _compile(spec: JobSpec) -> Dict[str, Any]:
         miss_latency=spec.miss_latency,
         enable_incremental_solver=spec.incremental,
         backend=spec.backend,
+        extraction=spec.extraction,
         seed=spec.seed,
         stochastic=StochasticConfig(
             seed=spec.mcmc_seed,

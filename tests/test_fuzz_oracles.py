@@ -55,8 +55,8 @@ class TestCheckCase:
 
     def test_all_oracles_constant(self):
         assert set(ALL_ORACLES) == {
-            "asm-vs-eval", "solver-paths", "strategies", "matching",
-            "bruteforce", "stochastic",
+            "asm-vs-eval", "solver-paths", "extraction", "strategies",
+            "matching", "bruteforce", "stochastic",
         }
 
 

@@ -245,3 +245,90 @@ class TestValidation:
             search_min_cycles(_oracle(1), 0, 5)
         with pytest.raises(ValueError):
             search_min_cycles(_oracle(1), 5, 4)
+
+
+class TestPublicSurface:
+    """The probe module's public names are load-bearing API.
+
+    The session, the backend race, the service and the extraction stage
+    all import from ``repro.core.probes``; these assertions pin the
+    names and the record schemas so a refactor that renames or drops
+    one fails here first, not in a consumer.
+    """
+
+    def test_module_exports(self):
+        import repro.core.probes as probes
+
+        for name in (
+            "Probe",
+            "SearchOutcome",
+            "SearchStrategy",
+            "CancelToken",
+            "ProbeScheduler",
+            "LinearScheduler",
+            "BinaryScheduler",
+            "PortfolioScheduler",
+            "BackendRace",
+            "RaceEntry",
+            "get_scheduler",
+            "search_min_cycles",
+        ):
+            assert hasattr(probes, name), name
+
+    def test_strategy_values_are_the_cli_choices(self):
+        assert {s.value for s in SearchStrategy} == {
+            "binary", "linear", "portfolio"
+        }
+
+    def test_probe_to_dict_schema(self):
+        probe = Probe(cycles=3, satisfiable=True)
+        record = probe.to_dict()
+        assert {
+            "cycles", "satisfiable", "vars", "clauses", "conflicts",
+            "propagations", "time_seconds", "encode_seconds",
+            "solve_seconds", "extract_seconds", "prefix_cycles_reused",
+            "learned", "learned_reused", "solver", "cancelled",
+        } <= set(record)
+        assert record["cycles"] == 3 and record["satisfiable"] is True
+
+    def test_get_scheduler_dispatch(self):
+        from repro.core.probes import (
+            BinaryScheduler,
+            LinearScheduler,
+            get_scheduler,
+        )
+
+        assert isinstance(
+            get_scheduler(SearchStrategy.BINARY), BinaryScheduler
+        )
+        assert isinstance(
+            get_scheduler(SearchStrategy.LINEAR), LinearScheduler
+        )
+        portfolio = get_scheduler(SearchStrategy.PORTFOLIO, max_workers=2)
+        assert isinstance(portfolio, PortfolioScheduler)
+        assert portfolio.max_workers == 2
+
+    def test_backend_race_first_verified_wins_and_cancels(self):
+        from repro.core.probes import BackendRace, RaceEntry
+
+        def fast(token):
+            return RaceEntry(name="fast", verified=True, cycles=3)
+
+        def slow(token):
+            deadline = time.time() + 5.0
+            while not token() and time.time() < deadline:
+                time.sleep(0.001)
+            return RaceEntry(
+                name="slow", verified=False, cycles=None, cancelled=token()
+            )
+
+        winner, entries = BackendRace().run(
+            [("fast", fast), ("slow", slow)]
+        )
+        assert winner == "fast"
+        assert entries["slow"].cancelled
+
+    def test_backend_race_no_contestants(self):
+        from repro.core.probes import BackendRace
+
+        assert BackendRace().run([]) == (None, {})
