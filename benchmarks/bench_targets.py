@@ -1,0 +1,312 @@
+"""Multi-target bench: the rv64 backend vs the ev6 baseline.
+
+ISSUE 10 lifts the Alpha/EV6 monoculture into a declarative target
+layer (``repro.isa.targets``) and ships RISC-V RV64 as a second real
+ISA.  This bench is the end-to-end gate for that claim, per workload of
+the ``benchmarks/workloads`` suite:
+
+* **shared timing suite** (``fig2.dn``, ``checksum.dn``) — both targets
+  compile the same source under the same budgets; wall-clock is
+  measured interleaved so machine-load drift lands on both streams.
+  Acceptance: every unit verified and deterministic on both targets,
+  and the rv64 suite total stays <= ``RV64_SLOWDOWN_CEILING`` (1.15x)
+  of the ev6 total.
+* **byteswap4.dn** — an rv64 *quality* entry, outside the timing
+  ratio.  The workload is EV6 home turf (its goal is literally
+  ``storeb``/``selectb`` byte surgery); rv64 still compiles it to a
+  verified, optimal 7-cycle schedule, but only under a pinned budget
+  (``max_enodes=600``, cycle window 7..8).  At looser budgets the
+  canonical lex-least model decode — not saturation, not CNF size —
+  blows up on the 2-wide machine: the false-first DFS takes thousands
+  of conflicts with very large learned clauses (66s+ per probe, and
+  *worse* with looser cycle budgets).  A warm-start experiment
+  (heuristic presolve, then the canonical sweep over the learned DB)
+  did not help, so the cost is inherent to the lex-least sweep on this
+  instance shape; the bench pins the budget and records the honest
+  wall-clock instead of hiding it.  ``BENCH_TARGETS_SKIP_BYTESWAP=1``
+  skips this entry (the CI smoke job does — it costs ~a minute).
+
+``mulchain.dn`` is deliberately *not* in the shared suite: under the
+shared budgets ev6 finds no schedule within 10 cycles (mulq latency 7)
+while rv64's 3-cycle multiplier fits in 8 — there is no common timing
+baseline to compare against.
+
+Results land in ``benchmarks/out/bench_targets.json``; the repo-root
+``BENCH_targets.json`` summary tracks the trajectory across PRs.
+``BENCH_TARGETS_WORKLOADS=fig2.dn`` restricts the shared suite (CI
+smoke); the suite-level ratio gate applies only to complete runs, while
+the per-unit verified/deterministic invariants always apply.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from benchmarks.conftest import output_dir
+
+WORKLOAD_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "workloads"
+)
+SUITE_SHARED = ("fig2.dn", "checksum.dn")
+REPEATS = {"fig2.dn": 15, "checksum.dn": 3}
+TARGETS = ("ev6", "rv64")
+
+MIN_CYCLES, MAX_CYCLES = 1, 10
+MAX_ROUNDS, MAX_ENODES = 8, 2500
+SEED = 20020617
+RV64_SLOWDOWN_CEILING = 1.15
+
+# byteswap4 rv64 budget: see the module docstring.
+BYTESWAP_MIN, BYTESWAP_MAX = 7, 8
+BYTESWAP_ENODES = 600
+
+
+def _selected_workloads():
+    env = os.environ.get("BENCH_TARGETS_WORKLOADS")
+    if not env:
+        return list(SUITE_SHARED)
+    return [name.strip() for name in env.split(",") if name.strip()]
+
+
+def _build(path, target, lo=MIN_CYCLES, hi=MAX_CYCLES, enodes=MAX_ENODES):
+    from repro.axioms import AxiomSet, default_axiom_corpus
+    from repro.core.pipeline import Denali, DenaliConfig
+    from repro.core.probes import SearchStrategy
+    from repro.isa.targets import get_target
+    from repro.lang import parse_program, translate_procedure
+    from repro.matching import SaturationConfig
+
+    with open(path) as handle:
+        prog = parse_program(handle.read())
+    axioms = default_axiom_corpus(prog.registry, target) + AxiomSet(
+        prog.axioms, "program"
+    )
+    config = DenaliConfig(
+        min_cycles=lo,
+        max_cycles=hi,
+        strategy=SearchStrategy.LINEAR,
+        seed=SEED,
+        saturation=SaturationConfig(
+            max_rounds=MAX_ROUNDS, max_enodes=enodes
+        ),
+    )
+    den = Denali(
+        get_target(target).spec(),
+        axioms=axioms,
+        registry=prog.registry,
+        config=config,
+    )
+    gmas = []
+    for proc in prog.procedures:
+        gmas.extend(translate_procedure(proc, prog.registry))
+    return den, gmas
+
+
+def _compile_all(den, gmas):
+    """Compile every gma; return [(label, cycles, rendered asm)]."""
+    units = []
+    for label, gma in gmas:
+        res = den.compile_gma(gma, label=label)
+        assert res.schedule is not None, "%s found no schedule" % label
+        assert res.verified, label
+        units.append((label, res.cycles, res.schedule.render()))
+    return units
+
+
+def _measure(path, repeats):
+    """Per-target quality + interleaved median seconds per compile."""
+    pipelines = {t: _build(path, t) for t in TARGETS}
+    units = {}
+    for target, (den, gmas) in pipelines.items():
+        first = _compile_all(den, gmas)
+        second = _compile_all(den, gmas)
+        assert first == second, (
+            "%s nondeterministic on %s" % (target, path)
+        )
+        units[target] = first
+    times = {t: [] for t in TARGETS}
+    for _ in range(repeats):
+        for target, (den, gmas) in pipelines.items():
+            n = len(gmas)
+            start = time.perf_counter()
+            for label, gma in gmas:
+                den.compile_gma(gma, label=label)
+            times[target].append((time.perf_counter() - start) / n)
+    medians = {t: statistics.median(times[t]) for t in TARGETS}
+    return medians, units
+
+
+def _measure_byteswap_rv64():
+    """The pinned-budget rv64 quality entry (see module docstring)."""
+    path = os.path.join(WORKLOAD_DIR, "byteswap4.dn")
+    den, gmas = _build(
+        path, "rv64", lo=BYTESWAP_MIN, hi=BYTESWAP_MAX,
+        enodes=BYTESWAP_ENODES,
+    )
+    start = time.perf_counter()
+    units = []
+    for label, gma in gmas:
+        res = den.compile_gma(gma, label=label)
+        assert res.schedule is not None, label
+        assert res.verified and res.optimal, label
+        assert res.cycles == BYTESWAP_MIN, (
+            "expected the %d-cycle optimum, got %s"
+            % (BYTESWAP_MIN, res.cycles)
+        )
+        units.append((label, res.cycles))
+    elapsed = time.perf_counter() - start
+    return {
+        "workload": "byteswap4.dn",
+        "target": "rv64",
+        "cycles": {label: cyc for label, cyc in units},
+        "max_enodes": BYTESWAP_ENODES,
+        "cycle_window": [BYTESWAP_MIN, BYTESWAP_MAX],
+        "seconds": round(elapsed, 2),
+        "in_timing_ratio": False,
+        "note": "canonical lex-least decode is pathological on the "
+                "2-wide machine at looser budgets; pinned window",
+    }
+
+
+def test_targets_parity_and_overhead(report):
+    selected = _selected_workloads()
+    entries = []
+    for name in selected:
+        path = os.path.join(WORKLOAD_DIR, name)
+        medians, units = _measure(path, REPEATS.get(name, 3))
+        entries.append(
+            {
+                "workload": name,
+                "units": {
+                    t: [
+                        {"label": label, "cycles": cyc}
+                        for label, cyc, _ in units[t]
+                    ]
+                    for t in TARGETS
+                },
+                "ev6_ms_per_compile": round(1000 * medians["ev6"], 3),
+                "rv64_ms_per_compile": round(1000 * medians["rv64"], 3),
+                "ratio_rv64_over_ev6": round(
+                    medians["rv64"] / medians["ev6"], 3
+                ),
+            }
+        )
+        # The two backends must genuinely diverge in emitted code.
+        assert units["ev6"] != units["rv64"], name
+
+    byteswap = None
+    if os.environ.get("BENCH_TARGETS_SKIP_BYTESWAP") != "1":
+        byteswap = _measure_byteswap_rv64()
+
+    suite_complete = {e["workload"] for e in entries} == set(SUITE_SHARED)
+    suite_ratio = None
+    if entries:
+        ev6_total = sum(e["ev6_ms_per_compile"] for e in entries)
+        rv64_total = sum(e["rv64_ms_per_compile"] for e in entries)
+        suite_ratio = round(rv64_total / ev6_total, 3)
+
+    result = {
+        "targets": list(TARGETS),
+        "strategy": "linear",
+        "seed": SEED,
+        "min_cycles": MIN_CYCLES,
+        "max_cycles": MAX_CYCLES,
+        "per_workload": entries,
+        "byteswap4_rv64": byteswap,
+        "suite": {
+            "workloads": list(SUITE_SHARED),
+            "complete": suite_complete,
+            "ratio_rv64_over_ev6": suite_ratio,
+            "ceiling": RV64_SLOWDOWN_CEILING,
+        },
+    }
+    with open(
+        os.path.join(output_dir(), "bench_targets.json"), "w"
+    ) as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    # Repo-root summary, merged across partial runs like the other
+    # BENCH_*.json files: partial runs refresh their workloads, the
+    # suite record only changes when the whole shared suite ran.
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    summary_path = os.path.join(root, "BENCH_targets.json")
+    summary = {
+        "bench": "rv64 backend vs ev6 baseline (shared workload suite)",
+        "suite": {
+            "workloads": list(SUITE_SHARED),
+            "complete": False,
+            "ratio_rv64_over_ev6": None,
+            "ceiling": RV64_SLOWDOWN_CEILING,
+        },
+        "per_workload": {},
+        "byteswap4_rv64": None,
+    }
+    if os.path.exists(summary_path):
+        try:
+            with open(summary_path) as handle:
+                summary.update(json.load(handle))
+        except (OSError, ValueError):
+            pass
+    for e in entries:
+        summary["per_workload"][e["workload"]] = {
+            "ev6_ms": e["ev6_ms_per_compile"],
+            "rv64_ms": e["rv64_ms_per_compile"],
+            "ratio": e["ratio_rv64_over_ev6"],
+            "cycles": {
+                t: {u["label"]: u["cycles"] for u in e["units"][t]}
+                for t in TARGETS
+            },
+        }
+    if byteswap is not None:
+        summary["byteswap4_rv64"] = byteswap
+    if suite_complete:
+        summary["suite"] = {
+            "workloads": list(SUITE_SHARED),
+            "complete": True,
+            "ratio_rv64_over_ev6": suite_ratio,
+            "ceiling": RV64_SLOWDOWN_CEILING,
+        }
+    with open(summary_path, "w") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+
+    lines = [
+        "workload      ev6 ms   rv64 ms   ratio",
+    ]
+    for e in entries:
+        lines.append(
+            "%-12s  %6.1f  %8.1f  %6.3f"
+            % (
+                e["workload"],
+                e["ev6_ms_per_compile"],
+                e["rv64_ms_per_compile"],
+                e["ratio_rv64_over_ev6"],
+            )
+        )
+    if suite_complete:
+        lines.append(
+            "shared suite: rv64/ev6 ratio %.3f (ceiling %.2f)"
+            % (suite_ratio, RV64_SLOWDOWN_CEILING)
+        )
+    if byteswap is not None:
+        lines.append(
+            "byteswap4 rv64 (quality, not timed): %s cycles in %.1fs "
+            "at max_enodes=%d"
+            % (
+                sorted(byteswap["cycles"].values()),
+                byteswap["seconds"],
+                byteswap["max_enodes"],
+            )
+        )
+    report("multi-target: rv64 vs ev6 on the shared suite",
+           "\n".join(lines))
+
+    if suite_complete:
+        assert suite_ratio <= RV64_SLOWDOWN_CEILING, (
+            "rv64 too slow on the shared suite: ratio %.3f > %.2f"
+            % (suite_ratio, RV64_SLOWDOWN_CEILING)
+        )

@@ -29,7 +29,10 @@ from repro.axioms.builtin import (
     alpha_axioms,
     checksum_axioms,
     constant_synthesis_axioms,
+    default_axiom_corpus,
     math_axioms,
+    riscv_axioms,
+    target_axioms,
 )
 
 __all__ = [
@@ -48,5 +51,8 @@ __all__ = [
     "alpha_axioms",
     "checksum_axioms",
     "constant_synthesis_axioms",
+    "default_axiom_corpus",
     "math_axioms",
+    "riscv_axioms",
+    "target_axioms",
 ]

@@ -110,6 +110,15 @@ class _AxiomBase:
     name: str
     variables: Tuple[str, ...]
     triggers: Tuple[Pattern, ...]
+    # Applicability tag: the target names this axiom may saturate for.
+    # The empty tuple means *universal* — mathematical truths and the
+    # definitional layers every target shares.  Non-empty tuples mark
+    # per-ISA instruction idioms (e.g. the rv64 comparison lowerings),
+    # which must never enter another target's corpus.
+    targets: Tuple[str, ...] = ()
+
+    def applies_to(self, target: str) -> bool:
+        return not self.targets or target in self.targets
 
     def _check_triggers(self, body_vars: FrozenSet[str]) -> None:
         if not self.triggers:
@@ -269,8 +278,40 @@ class AxiomSet:
                 continue
             if lhs.op in _pattern_ops(rhs):
                 continue
+            # Nor may it close a mutual-recursion cycle through earlier
+            # definitions (math's cmovlt -> cmovge plus a target
+            # sublayer's cmovge -> cmovlt): expanding such a pair never
+            # terminates, so the axiom that would close the loop loses.
+            seen: set = set()
+            frontier = list(_pattern_ops(rhs))
+            cyclic = False
+            while frontier:
+                op = frontier.pop()
+                if op == lhs.op:
+                    cyclic = True
+                    break
+                if op in seen:
+                    continue
+                seen.add(op)
+                if op in defs:
+                    frontier.extend(_pattern_ops(defs[op][1]))
+            if cyclic:
+                continue
             defs[lhs.op] = (params, rhs)
         return defs
+
+    def for_target(self, target: str) -> "AxiomSet":
+        """Keep axioms applicable to ``target``.
+
+        Universal axioms (empty ``targets`` tag) always survive; tagged
+        axioms survive only for their own targets — which is what keeps
+        e.g. the rv64 comparison lowerings out of the ev6 corpus and the
+        saturated fixpoints byte-stable per target.
+        """
+        kept = [ax for ax in self._axioms if ax.applies_to(target)]
+        if len(kept) == len(self._axioms):
+            return self
+        return AxiomSet(kept, name="%s@%s" % (self.name, target))
 
     def relevant_to(self, ops: Iterable[str]) -> "AxiomSet":
         """Keep axioms with at least one trigger whose head operator is in ``ops``.

@@ -13,8 +13,19 @@ corpus is organised exactly as the paper describes:
   ``4 = 2**2`` fact synthesised for constants, Figure 2 of the paper);
 * :func:`alpha_axioms` — definitions of Alpha operations in terms of
   mathematical functions (``extbl``/``insbl``/``mskbl``/``s4addq``/...);
+* :func:`riscv_axioms` — the rv64 instruction sublayer: lowerings for the
+  comparisons and conditional moves RV64 lacks, tagged
+  ``targets=("rv64",)`` so they never enter another target's corpus;
 * :func:`checksum_axioms` — the program-local operators ``add``/``carry``
   of the checksum example (Figure 6), provided as a reusable helper.
+
+Every built-in axiom carries a ``targets`` applicability tag.  The
+mathematical, constant-synthesis and Alpha files are *universal*
+(``targets=()``): the Alpha operations are mathematically defined
+surface vocabulary every target's goals may mention, and these axioms
+are exactly their definitions.  Only per-ISA idiom layers (the rv64
+file) are tagged, and :func:`default_axiom_corpus` assembles the
+per-target corpus by tag.
 """
 
 from __future__ import annotations
@@ -331,6 +342,53 @@ _ALPHA_AXIOMS = r"""
     (eq (\sextl (\sextw x)) (\sextw x))))
 """
 
+_RISCV_AXIOMS = r"""
+; ===== RV64 comparison lowerings =====
+; The base ISA only has slt/sltu; equality and the non-strict orders
+; lower through sltu/xor idioms.  Triggered on the rich form only, so
+; saturation rewrites *towards* what the machine can execute.
+(\axiom (forall (x y) (pats (\cmpeq x y))
+    (eq (\cmpeq x y) (\cmpult (\xor64 x y) 1))))
+(\axiom (forall (x y) (pats (\cmple x y))
+    (eq (\cmple x y) (\xor64 (\cmplt y x) 1))))
+(\axiom (forall (x y) (pats (\cmpule x y))
+    (eq (\cmpule x y) (\xor64 (\cmpult y x) 1))))
+
+; ===== RV64 conditional-move lowerings =====
+; No cmov instructions: select through an all-ones/all-zeros mask.
+; neg64(cmp) is -1 when the test holds, 0 otherwise, so
+; (x & m) | (y & ~m) picks x exactly when the test holds — and bic
+; (Zbb andn) keeps the arm count at four machine ops.
+(\axiom (forall (t x y) (pats (\cmoveq t x y))
+    (eq (\cmoveq t x y)
+        (\bis (\and64 x (\neg64 (\cmpeq t 0)))
+              (\bic y (\neg64 (\cmpeq t 0)))))))
+(\axiom (forall (t x y) (pats (\cmovlt t x y))
+    (eq (\cmovlt t x y)
+        (\bis (\and64 x (\neg64 (\cmplt t 0)))
+              (\bic y (\neg64 (\cmplt t 0)))))))
+; cmovge needs its own trigger: the Alpha bridge only fires on cmovlt.
+(\axiom (forall (t x y) (pats (\cmovge t x y))
+    (eq (\cmovge t x y) (\cmovlt t y x))))
+
+; ===== byte surgery without byte instructions =====
+; The math file lowers extbl/extwl/insbl; the remaining Alpha byte ops
+; need their shift-and-mask forms here or rv64 cannot reach machine
+; code for them at all.  All hold for every i: the byte index is
+; i mod 8, the shift count is mod 64, and 8*i mod 64 == 8*(i mod 8).
+(\axiom (forall (x i) (pats (\inswl x i))
+    (eq (\inswl x i) (\sll (\and64 x 65535) (\mul64 8 i)))))
+(\axiom (forall (w i) (pats (\mskbl w i))
+    (eq (\mskbl w i) (\bic w (\sll 255 (\mul64 8 i))))))
+(\axiom (forall (w i) (pats (\mskwl w i))
+    (eq (\mskwl w i) (\bic w (\sll 65535 (\mul64 8 i))))))
+; zapnot with the byte-irregular masks the regular axioms skip.
+(\axiom (forall (w) (pats (\zapnot w 85))
+    (eq (\zapnot w 85) (\and64 w 71777214294589695))))
+(\axiom (forall (w) (pats (\zapnot w 240))
+    (eq (\zapnot w 240) (\and64 w 18446744069414584320))))
+"""
+
 _CHECKSUM_AXIOMS = r"""
 ; carry returns the carry bit resulting from the
 ; unsigned 64-bit sum of its arguments.   (paper Figure 6, verbatim)
@@ -374,6 +432,59 @@ def alpha_axioms(registry: OperatorRegistry = None) -> AxiomSet:
     return parse_axiom_file(
         _ALPHA_AXIOMS, registry or default_registry(), name="alpha"
     )
+
+
+def riscv_axioms(registry: OperatorRegistry = None) -> AxiomSet:
+    """The rv64 instruction-idiom sublayer (tagged ``targets=("rv64",)``)."""
+    return parse_axiom_file(
+        _RISCV_AXIOMS,
+        registry or default_registry(),
+        name="riscv",
+        targets=("rv64",),
+    )
+
+
+# Per-target instruction sublayers, keyed by target registry name.
+# Targets without an entry (ev6, itanium, simple) are served by the
+# universal files alone.
+_TARGET_SUBLAYERS = {
+    "rv64": riscv_axioms,
+}
+
+
+def target_axioms(registry: OperatorRegistry = None, target: str = "ev6") -> AxiomSet:
+    """The per-target instruction sublayer (empty for untagged targets)."""
+    builder = _TARGET_SUBLAYERS.get(target)
+    if builder is None:
+        return AxiomSet(name="%s-sublayer" % target)
+    return builder(registry)
+
+
+def default_axiom_corpus(
+    registry: OperatorRegistry = None, target: str = "ev6"
+) -> AxiomSet:
+    """The full built-in corpus for ``target``.
+
+    Universal layers (math, constant synthesis, the Alpha definitional
+    file) plus the target's tagged sublayer, filtered by the ``targets``
+    applicability tag — so e.g. the rv64 cmov lowerings can never leak
+    into an ev6 saturation, which keeps ev6 assembly byte-stable.
+    """
+    registry = registry or default_registry()
+    # The target sublayer comes FIRST: `AxiomSet.definitions()` is
+    # first-wins, and the sublayer's lowerings are *grounded* (cmovlt as
+    # shift/mask arithmetic) where the universal files only have swap
+    # forms (cmovlt <-> cmovge) — the baseline lowerer and evaluator
+    # want the grounded ones.  Saturation is order-insensitive (same
+    # fixpoint), and targets without a sublayer (ev6!) see the exact
+    # historical order, so ev6 assembly stays byte-stable.
+    corpus = (
+        target_axioms(registry, target)
+        + math_axioms(registry)
+        + constant_synthesis_axioms(registry)
+        + alpha_axioms(registry)
+    )
+    return corpus.for_target(target)
 
 
 def checksum_axioms(

@@ -104,8 +104,14 @@ def parse_axiom(
     sexpr: SExpr,
     registry: Optional[OperatorRegistry] = None,
     name: str = "",
+    targets: Tuple[str, ...] = (),
 ) -> Axiom:
-    """Parse the body of one ``\\axiom`` form into an :class:`Axiom`."""
+    """Parse the body of one ``\\axiom`` form into an :class:`Axiom`.
+
+    ``targets`` is the applicability tag stamped on the parsed axiom
+    (empty = universal); whole files are tagged through
+    :func:`parse_axiom_file`.
+    """
     registry = registry if registry is not None else default_registry()
     variables: List[str] = []
     triggers_sexpr: Optional[List[SExpr]] = None
@@ -158,6 +164,7 @@ def parse_axiom(
                 name=name,
                 variables=tuple(variables),
                 triggers=tuple(triggers),
+                targets=tuple(targets),
                 lhs=lhs,
                 rhs=rhs,
             )
@@ -165,6 +172,7 @@ def parse_axiom(
             name=name,
             variables=tuple(variables),
             triggers=tuple(triggers),
+            targets=tuple(targets),
             lhs=lhs,
             rhs=rhs,
         )
@@ -172,6 +180,7 @@ def parse_axiom(
         name=name,
         variables=tuple(variables),
         triggers=tuple(triggers),
+        targets=tuple(targets),
         literals=tuple(literals),
     )
 
@@ -180,11 +189,14 @@ def parse_axiom_file(
     text: str,
     registry: Optional[OperatorRegistry] = None,
     name: str = "",
+    targets: Tuple[str, ...] = (),
 ) -> AxiomSet:
     """Parse a whole axiom file: a sequence of ``(\\axiom ...)`` forms.
 
     Forms other than ``\\axiom`` (e.g. ``\\opdecl``) are rejected here; the
-    program parser in :mod:`repro.lang` handles mixed files.
+    program parser in :mod:`repro.lang` handles mixed files.  ``targets``
+    stamps every parsed axiom with a target-applicability tag (empty =
+    universal), used by the per-target corpus assembly.
     """
     registry = registry if registry is not None else default_registry()
     axioms = AxiomSet(name=name)
@@ -199,6 +211,11 @@ def parse_axiom_file(
         if len(form) != 2:
             raise AxiomParseError("\\axiom takes exactly one body form")
         axioms.add(
-            parse_axiom(form[1], registry, name="%s[%d]" % (name or "axioms", i))
+            parse_axiom(
+                form[1],
+                registry,
+                name="%s[%d]" % (name or "axioms", i),
+                targets=targets,
+            )
         )
     return axioms

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro program.dn                  # compile every procedure
     python -m repro program.dn --proc checksum  # one procedure
-    python -m repro program.dn --arch itanium   # retarget
+    python -m repro program.dn --target rv64    # retarget
+    python -m repro targets                     # list known targets
     python -m repro program.dn --max-cycles 12 --strategy linear
     python -m repro program.dn --dimacs out/    # also dump the CNF probes
 
@@ -38,19 +39,15 @@ from repro.axioms import (
     AxiomSet,
     alpha_axioms,
     constant_synthesis_axioms,
+    default_axiom_corpus,
     math_axioms,
+    riscv_axioms,
 )
 from repro.core.pipeline import Denali, DenaliConfig
 from repro.core.probes import SearchStrategy
-from repro.isa import ev6, itanium_like, simple_risc
+from repro.isa import available_targets, get_target, target_names
 from repro.lang import parse_program, translate_procedure
 from repro.matching import SaturationConfig
-
-_ARCHS = {
-    "ev6": ev6,
-    "itanium": itanium_like,
-    "simple": simple_risc,
-}
 
 EXIT_OK = 0
 EXIT_FAILURE = 1
@@ -64,10 +61,14 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         "--proc", help="compile only this procedure", default=None
     )
     parser.add_argument(
+        "--target",
         "--arch",
-        choices=sorted(_ARCHS),
+        dest="target",
+        choices=sorted(target_names()),
         default="ev6",
-        help="target architecture description (default: ev6)",
+        help="target ISA, resolved through the repro.isa.targets registry "
+        "(default: ev6; `repro targets` lists them; --arch is the "
+        "backwards-compatible spelling)",
     )
     parser.add_argument(
         "--max-cycles", type=int, default=12, help="largest budget to try"
@@ -127,7 +128,8 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         "--load-latency",
         type=int,
         default=3,
-        help="assumed cache-hit load latency (EV6 only)",
+        help="assumed cache-hit load latency (targets that model a "
+        "D-cache: ev6, rv64)",
     )
     parser.add_argument(
         "--miss-latency",
@@ -158,6 +160,13 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         help="re-scan the whole E-graph for every saturation round instead "
         "of matching only against the dirty cone (the naive differential-"
         "oracle path)",
+    )
+    parser.add_argument(
+        "--axiom-tiers",
+        action="store_true",
+        help="tiered axiom scheduling: defer expansive (growing) axioms "
+        "for the first saturation rounds, activating them before "
+        "quiescence so the fixpoint is unchanged (off by default)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="print assembly only"
@@ -364,7 +373,15 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="LIST",
         help="comma-separated oracle subset (default: all): "
-        "asm-vs-eval,solver-paths,strategies,matching,bruteforce,stochastic",
+        "asm-vs-eval,solver-paths,extraction,strategies,matching,"
+        "bruteforce,stochastic,cross-target",
+    )
+    parser.add_argument(
+        "--target",
+        default="ev6",
+        metavar="NAME",
+        help="target the single-target oracles compile for (default: "
+        "ev6); the cross-target oracle always sweeps ev6 and rv64",
     )
     parser.add_argument(
         "--max-cycles",
@@ -428,6 +445,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _batch_main(argv[1:])
         if argv and argv[0] == "fuzz":
             return _fuzz_main(argv[1:])
+        if argv and argv[0] == "targets":
+            return _targets_main(argv[1:])
         return _compile_main(argv)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
@@ -447,6 +466,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         return code if isinstance(code, int) else EXIT_USAGE
 
 
+def _targets_main(argv: List[str]) -> int:
+    """The ``repro targets`` verb: list the registered target ISAs."""
+    parser = argparse.ArgumentParser(
+        prog="repro targets",
+        description="list the target ISAs the pipeline can compile for",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
+    args = parser.parse_args(argv)
+    targets = available_targets()
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": t.name,
+                        "aliases": list(t.aliases),
+                        "description": t.description,
+                    }
+                    for t in targets
+                ],
+                indent=2,
+            )
+        )
+        return EXIT_OK
+    width = max(len(t.name) for t in targets)
+    for t in targets:
+        aliases = " (aliases: %s)" % ", ".join(t.aliases) if t.aliases else ""
+        print("%-*s  %s%s" % (width, t.name, t.description, aliases))
+    return EXIT_OK
+
+
 def _compile_main(argv: List[str]) -> int:
     args = build_parser().parse_args(argv)
 
@@ -458,6 +512,7 @@ def _compile_main(argv: List[str]) -> int:
             ("mathematical axioms", math_axioms(registry)),
             ("constant-synthesis companions", constant_synthesis_axioms(registry)),
             ("Alpha architectural axioms", alpha_axioms(registry)),
+            ("RISC-V rv64 sublayer", riscv_axioms(registry)),
         ):
             print("; ===== %s (%d) =====" % (title, len(axset)))
             for axiom in axset:
@@ -487,20 +542,18 @@ def _compile_main(argv: List[str]) -> int:
         print("error: no procedures in %s" % args.source, file=sys.stderr)
         return EXIT_USAGE
 
-    if args.arch == "ev6":
-        spec = ev6(load_latency=args.load_latency)
-    else:
-        spec = _ARCHS[args.arch]()
+    target = get_target(args.target)
+    spec = target.spec(load_latency=args.load_latency)
 
-    axioms = (
-        math_axioms(program.registry)
-        + constant_synthesis_axioms(program.registry)
-        + alpha_axioms(program.registry)
-        + AxiomSet(program.axioms, "program")
+    # The built-in corpus for the chosen target (shared mathematical core
+    # + the target's instruction sublayer), plus the program's own axioms.
+    axioms = default_axiom_corpus(program.registry, target.name) + AxiomSet(
+        program.axioms, "program"
     )
     from repro.stochastic.search import StochasticConfig
 
     config = DenaliConfig(
+        target=target.name,
         min_cycles=args.min_cycles,
         max_cycles=args.max_cycles,
         strategy=SearchStrategy(args.strategy),
@@ -519,6 +572,7 @@ def _compile_main(argv: List[str]) -> int:
             max_rounds=args.max_rounds,
             max_enodes=args.max_enodes,
             incremental_match=not args.no_incremental_match,
+            axiom_tiers=args.axiom_tiers,
         ),
     )
     den = Denali(spec, axioms=axioms, registry=program.registry, config=config)
@@ -702,7 +756,8 @@ def _batch_specs(args) -> List:
                 source=source,
                 name=path,
                 proc=args.proc,
-                arch=args.arch,
+                arch=args.target,
+                axiom_tiers=args.axiom_tiers,
                 min_cycles=args.min_cycles,
                 max_cycles=args.max_cycles,
                 strategy=args.strategy,
@@ -847,8 +902,13 @@ def _report_metrics(args, metrics: dict) -> None:
 
 def _fuzz_oracle_options(args):
     from repro.fuzz import ALL_ORACLES, OracleOptions
+    from repro.isa import get_target
 
-    options = OracleOptions(max_cycles=args.max_cycles)
+    try:
+        target = get_target(getattr(args, "target", "ev6")).name
+    except KeyError as exc:
+        raise ValueError(str(exc).strip('"'))
+    options = OracleOptions(max_cycles=args.max_cycles, target=target)
     if args.oracles:
         chosen = tuple(
             name.strip() for name in args.oracles.split(",") if name.strip()
@@ -912,10 +972,13 @@ def _fuzz_main(argv: List[str]) -> int:
         print("error: --iterations must be positive", file=sys.stderr)
         return EXIT_USAGE
 
+    from repro.fuzz import GeneratorConfig
+
     config = FuzzConfig(
         seed=args.seed,
         iterations=args.iterations,
         time_budget_seconds=args.time_budget,
+        generator=GeneratorConfig(target=oracle.target),
         oracle=oracle,
         shrink=not args.no_shrink,
         save_failures_to=args.save,
@@ -995,7 +1058,8 @@ def _write_stats_json(args, collected) -> None:
 
     report = {
         "source": args.source,
-        "arch": args.arch,
+        "arch": args.target,
+        "target": args.target,
         "strategy": args.strategy,
         "backend": getattr(args, "backend", "sat"),
         "seed": getattr(args, "seed", 0),

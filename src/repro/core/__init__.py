@@ -5,7 +5,7 @@ the matcher, the constraint generator, the SAT solver, the cycle-budget
 search and the extractor together (the paper's Figure 1).
 """
 
-from repro.core.extraction import (
+from repro.core.emit import (
     ExtractionError,
     Schedule,
     ScheduledInstruction,

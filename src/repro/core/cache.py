@@ -94,6 +94,8 @@ def saturation_key(
             config.synthesize_mask_alternatives,
             config.max_pow2_exponent,
             config.incremental_match,
+            config.axiom_tiers,
+            config.tier_cheap_rounds,
         ),
     )
 
@@ -180,12 +182,15 @@ def global_saturation_cache() -> SaturationCache:
 
 
 class AxiomCorpusCache:
-    """Memoizes the built-in axiom corpus per registry signature.
+    """Memoizes the built-in axiom corpus per (registry signature, target).
 
-    Parsing the mathematical + constant-synthesis + Alpha files compiles a
-    few hundred trigger patterns; every ``Denali(spec)`` construction used
-    to redo it from scratch.  Cached sets are shared, so callers must
-    treat them as immutable (combine with ``+``, never ``add``).
+    Parsing the mathematical + constant-synthesis + architectural files
+    compiles a few hundred trigger patterns; every ``Denali(spec)``
+    construction used to redo it from scratch.  Entries are keyed by the
+    registry fingerprint *and* the target name — corpora differ per
+    target (the rv64 sublayer must never warm an ev6 compile, and vice
+    versa).  Cached sets are shared, so callers must treat them as
+    immutable (combine with ``+``, never ``add``).
     """
 
     def __init__(self) -> None:
@@ -198,7 +203,12 @@ class AxiomCorpusCache:
             self._entries.clear()
             self.stats = CacheStats()
 
-    def preload(self, registry: OperatorRegistry, corpus: AxiomSet) -> None:
+    def preload(
+        self,
+        registry: OperatorRegistry,
+        corpus: AxiomSet,
+        target: str = "ev6",
+    ) -> None:
         """Seed the cache with an externally compiled corpus.
 
         The compilation service persists the compiled corpus to its result
@@ -206,29 +216,23 @@ class AxiomCorpusCache:
         every worker forked from it) skips re-parsing the built-in axiom
         files.  Counted as neither hit nor miss.
         """
-        key = registry_fingerprint(registry)
+        key = (registry_fingerprint(registry), target)
         with self._lock:
             self._entries.setdefault(key, corpus)
 
-    def default_corpus(self, registry: OperatorRegistry) -> AxiomSet:
-        from repro.axioms.builtin import (
-            alpha_axioms,
-            constant_synthesis_axioms,
-            math_axioms,
-        )
+    def default_corpus(
+        self, registry: OperatorRegistry, target: str = "ev6"
+    ) -> AxiomSet:
+        from repro.axioms.builtin import default_axiom_corpus
 
-        key = registry_fingerprint(registry)
+        key = (registry_fingerprint(registry), target)
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
                 self.stats.hits += 1
                 return cached
             self.stats.misses += 1
-        corpus = (
-            math_axioms(registry)
-            + constant_synthesis_axioms(registry)
-            + alpha_axioms(registry)
-        )
+        corpus = default_axiom_corpus(registry, target)
         with self._lock:
             self._entries.setdefault(key, corpus)
         return corpus

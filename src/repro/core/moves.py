@@ -19,9 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.extraction import Operand, Schedule, ScheduledInstruction
+from repro.core.emit import Operand, Schedule, ScheduledInstruction
 from repro.egraph.egraph import ENode
-from repro.isa.registers import ZERO_REGISTER
 from repro.isa.spec import ArchSpec
 from repro.lang.gma import GMA
 
@@ -96,9 +95,7 @@ def bind_outputs(
     if temp is None:
         used = set(schedule.register_map.values())
         used.update(i.dest for i in schedule.instructions if i.dest)
-        from repro.isa.registers import TEMP_REGISTERS
-
-        for candidate in reversed(TEMP_REGISTERS):
+        for candidate in reversed(spec.regs.temp_registers):
             if candidate not in used:
                 temp = candidate
                 break
@@ -137,15 +134,16 @@ def bind_outputs(
             cycle += 1
             issued_this_cycle = 0
         unit = unit_cycle[issued_this_cycle % len(unit_cycle)]
+        zero = spec.regs.zero_register
         if src.startswith("#"):
             literal = int(src[1:])
             operands = [
-                Operand(-1, register=ZERO_REGISTER),
+                Operand(-1, register=zero),
                 Operand(-1, literal=literal),
             ]
         else:
             operands = [
-                Operand(-1, register=ZERO_REGISTER),
+                Operand(-1, register=zero),
                 Operand(-1, register=src),
             ]
         instructions.append(

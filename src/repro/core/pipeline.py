@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.axioms.axiom import AxiomSet
 from repro.core import cache as _cache
-from repro.core.extraction import Schedule
+from repro.core.emit import Schedule
 from repro.core.probes import SearchOutcome, SearchStrategy
 from repro.core.session import CompilationSession, StageStats
 from repro.egraph.egraph import EGraph, ENode
@@ -40,6 +40,10 @@ EXTRACTION_MODES = ("greedy", "exact")
 class DenaliConfig:
     """Everything that parameterises one compilation."""
 
+    # Target ISA, resolved through repro.isa.targets when the pipeline is
+    # constructed without an explicit ArchSpec; kept in sync with the
+    # spec's target so stats and job fingerprints can always report it.
+    target: str = "ev6"
     min_cycles: int = 1
     max_cycles: int = 12
     strategy: SearchStrategy = SearchStrategy.BINARY
@@ -141,9 +145,12 @@ class Denali:
     """The superoptimizer.
 
     Args:
-        spec: the target architecture description.
+        spec: the target architecture description — an :class:`ArchSpec`,
+            a target name ("ev6", "rv64", ...), or None to resolve
+            ``config.target`` through :mod:`repro.isa.targets`.
         axioms: the axiom set to match with; defaults to the built-in
-            mathematical + constant-synthesis + Alpha files.
+            corpus filtered for the resolved target (shared mathematical
+            core + the target's instruction sublayer).
         registry: the operator registry (programs with ``\\opdecl``
             operators pass their extended registry).
         config: search/saturation/encoding parameters.
@@ -151,19 +158,30 @@ class Denali:
 
     def __init__(
         self,
-        spec: ArchSpec,
+        spec: Optional[ArchSpec] = None,
         axioms: Optional[AxiomSet] = None,
         registry: Optional[OperatorRegistry] = None,
         config: Optional[DenaliConfig] = None,
     ) -> None:
+        from repro.isa.targets import resolve_spec, target_for_spec
+
+        self.config = config if config is not None else DenaliConfig()
+        if spec is None:
+            spec = resolve_spec(self.config.target)
+        elif isinstance(spec, str):
+            spec = resolve_spec(spec)
         self.spec = spec
+        self.target = target_for_spec(spec)
+        self.config.target = self.target
         self.registry = registry if registry is not None else default_registry()
         if axioms is None:
             # The built-in corpus compiles to the same patterns for any
-            # registry with the same signatures; share it across instances.
-            axioms = _cache.global_axiom_cache().default_corpus(self.registry)
+            # registry with the same signatures; share it across instances
+            # (per target: the rv64 sublayer never warms an ev6 compile).
+            axioms = _cache.global_axiom_cache().default_corpus(
+                self.registry, self.target
+            )
         self.axioms = axioms
-        self.config = config if config is not None else DenaliConfig()
         # Targets without byte-manipulation instructions need the explicit
         # and64 alternatives for mask operations (see SaturationConfig).
         if not spec.is_machine_op("mskbl"):
@@ -193,12 +211,12 @@ class Denali:
         complete assembly program with exit branches and the back edge.
         """
         from repro.core.program import assemble_procedure
-        from repro.isa.registers import INPUT_REGISTERS
         from repro.lang.translate import translate_procedure
         from repro.terms.ops import Sort
         from repro.terms.term import subterms
 
         gmas = translate_procedure(procedure, self.registry)
+        input_registers = self.spec.regs.input_registers
 
         names = set()
         for _label, gma in gmas:
@@ -207,9 +225,9 @@ class Denali:
                     if sub.is_input and sub.sort != Sort.MEM:
                         names.add(sub.name)
             names.update(t for t in gma.targets if t not in ("M", "\\res"))
-        if len(names) > len(INPUT_REGISTERS):
+        if len(names) > len(input_registers):
             raise ValueError("procedure has too many live variables")
-        bindings = {n: r for n, r in zip(sorted(names), INPUT_REGISTERS)}
+        bindings = {n: r for n, r in zip(sorted(names), input_registers)}
 
         results = []
         compiled = []
@@ -582,15 +600,14 @@ class Denali:
 
     # -- helpers -------------------------------------------------------------
 
-    @staticmethod
-    def _default_input_registers(gma: GMA) -> Dict[str, str]:
+    def _default_input_registers(self, gma: GMA) -> Dict[str, str]:
         """Bind register inputs (and register targets) in name order.
 
         Targets get bindings too even when the right-hand sides never read
         them — output binding (:func:`repro.core.moves.bind_outputs`) needs
-        a home register for every target.
+        a home register for every target.  Registers follow the target's
+        calling convention (``spec.regs``).
         """
-        from repro.isa.registers import INPUT_REGISTERS
         from repro.terms.ops import Sort
         from repro.terms.term import subterms
 
@@ -604,7 +621,8 @@ class Denali:
             t for t in gma.targets if t not in ("M", "\\res")
         )
         return {
-            name: reg for name, reg in zip(sorted(names), INPUT_REGISTERS)
+            name: reg
+            for name, reg in zip(sorted(names), self.spec.regs.input_registers)
         }
 
     def _latency_overrides(

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.extraction import Schedule, ScheduledInstruction
+from repro.core.emit import Schedule, ScheduledInstruction
 from repro.isa.spec import ArchSpec
 from repro.lang.gma import GMA
 from repro.sim.machine import MachineState, _compute

@@ -430,7 +430,7 @@ class CompilationSession:
           probe; kept as the reference path for the differential tests
           and the benchmark baseline.
         """
-        from repro.core.extraction import extract_schedule
+        from repro.core.emit import extract_schedule
 
         cfg = self.config
         use_incremental = bool(

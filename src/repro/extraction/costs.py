@@ -2,7 +2,8 @@
 
 Extraction quality is judged by *selected-term cost*: the sum, over the
 distinct terms a selection realizes, of each term's cost (for machine
-terms, the EV6 cycle model's latency — ``spec.latency``).  This module
+terms, the active target's cycle-model latency — ``spec.latency``, so
+an rv64 extraction weighs rv64 latencies automatically).  This module
 computes per-class **lower bounds** on that cost directly over the flat
 struct-of-arrays columns (:meth:`repro.egraph.egraph.EGraph.flat_view`),
 with two admissible flavours:
@@ -144,7 +145,7 @@ def enode_tree_bound(
 def schedule_cost(instructions: Iterable, cost: CostFn) -> int:
     """Selected-term cost of a schedule: distinct terms, each paid once.
 
-    ``instructions`` is a :class:`~repro.core.extraction.Schedule`'s
+    ``instructions`` is a :class:`~repro.core.emit.Schedule`'s
     instruction list; a term launched several times (e.g. once per EV6
     cluster) still counts once — recomputation burns issue slots, not
     selection cost, and the cycle budget already polices slots.

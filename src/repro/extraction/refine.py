@@ -35,7 +35,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional
 
-from repro.core.extraction import Schedule, extract_schedule
+from repro.core.emit import Schedule, extract_schedule
 from repro.egraph.egraph import EGraph
 from repro.extraction.costs import (
     class_lower_bounds,

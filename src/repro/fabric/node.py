@@ -221,14 +221,32 @@ class FabricNode:
                     self.registry.add_peer(url)
 
     def _warm_corpus_from_peers(self) -> str:
-        key = default_corpus_key()
-        if self.store.corpus_blob_get(key) is not None:
-            return "local"
-        for peer in self.registry.peers():
-            payload = fetch_corpus(self.peer_client, peer.url, key)
-            if payload is not None and install_corpus(self.store, payload):
-                return "shipped"
-        return "cold"
+        """Ship every registered target's compiled corpus from a peer.
+
+        "local" when all per-target blobs were already in the store,
+        "shipped" when at least one arrived from a peer, "cold" when any
+        target's corpus still has to be compiled here.
+        """
+        from repro.isa.targets import target_names
+
+        shipped = False
+        cold = False
+        for target in target_names():
+            key = default_corpus_key(target)
+            if self.store.corpus_blob_get(key) is not None:
+                continue
+            for peer in self.registry.peers():
+                payload = fetch_corpus(self.peer_client, peer.url, key)
+                if payload is not None and install_corpus(
+                    self.store, payload
+                ):
+                    shipped = True
+                    break
+            else:
+                cold = True
+        if cold:
+            return "cold"
+        return "shipped" if shipped else "local"
 
     def corpus_payload(self, key: str) -> Optional[Dict[str, Any]]:
         return corpus_payload(self.store, key)

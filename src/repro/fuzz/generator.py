@@ -83,6 +83,9 @@ _CMOV_OPS: Sequence[str] = ("\\cmoveq", "\\cmovne", "\\cmovlt", "\\cmovge")
 
 # Literal pool: boundary values that exercise carries, sign bits and byte
 # structure, weighted toward small constants (they fit immediate fields).
+# The split between "small" and "wide" is re-derived per target in
+# :meth:`GeneratorConfig.literal_pools` — on ev6's 8-bit field it
+# reproduces these tuples exactly.
 _SMALL_LITERALS = (0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 63, 255)
 _WIDE_LITERALS = (
     256,
@@ -121,6 +124,26 @@ class GeneratorConfig:
     max_params: int = 3
     # Simultaneous targets in the loop's multi-assignment.
     max_loop_targets: int = 2
+    # The ISA whose immediate field splits the literal pool: values that
+    # fit it are "small" (common), the rest "wide" (rare, enter programs
+    # through ldiq/li).  The field's own boundary values are added so a
+    # wider target (rv64's 12-bit field) gets its edges exercised.
+    target: str = "ev6"
+
+    def literal_pools(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """``(small, wide)`` literal pools for the configured target."""
+        from repro.isa.targets import resolve_spec
+
+        spec = resolve_spec(self.target)
+        small = tuple(v for v in _SMALL_LITERALS if spec.fits_immediate(v))
+        if spec.imm_hi not in small:
+            small += (spec.imm_hi,)
+        wide = tuple(v for v in _WIDE_LITERALS) + tuple(
+            v for v in _SMALL_LITERALS if not spec.fits_immediate(v)
+        )
+        if spec.imm_hi + 1 not in wide:
+            wide += (spec.imm_hi + 1,)
+        return small, wide
 
 
 @dataclass
@@ -190,11 +213,12 @@ class _ExprGen:
         self.cfg = cfg
         self.scalars = list(scalars)
         self.pointers = list(pointers)
+        self._small_literals, self._wide_literals = cfg.literal_pools()
 
     def literal(self) -> int:
         if self.rng.random() < self.cfg.wide_literal_probability:
-            return self.rng.choice(_WIDE_LITERALS)
-        return self.rng.choice(_SMALL_LITERALS)
+            return self.rng.choice(self._wide_literals)
+        return self.rng.choice(self._small_literals)
 
     def leaf(self) -> SExpr:
         if self.scalars and self.rng.random() < 0.7:

@@ -28,7 +28,13 @@ the system, and every pair must agree:
   differently-seeded verification.  Beating the proof is *legitimate* —
   Denali's optimality is relative to the E-graph's axiom corpus, while
   the sampler composes raw machine ops — so only a false "better"
-  (one that fails re-verification) is a divergence.
+  (one that fails re-verification) is a divergence;
+* **cross-target** — the same GMA compiled for every other registered
+  target in ``cross_targets`` must agree with the shared reference
+  evaluator (asm-vs-eval per target, which transitively makes the
+  targets agree with each other) and satisfy its own machine's timing
+  referee.  Cycle counts may differ — the machines do — and a goal one
+  ISA can express but another cannot is skipped, not a divergence.
 
 ``check_case`` never raises on a bad program: every failure mode —
 including a crash inside the pipeline — becomes a :class:`Divergence`
@@ -47,7 +53,8 @@ from repro.baselines.bruteforce import _execute as brute_execute
 from repro.baselines.bruteforce import brute_force_search, goal_from_term
 from repro.core.pipeline import CompilationResult, Denali, DenaliConfig
 from repro.core.probes import SearchStrategy
-from repro.isa import ev6
+from repro.isa.spec import ArchSpec
+from repro.isa.targets import get_target
 from repro.lang import parse_program, translate_procedure
 from repro.lang.gma import GMA
 from repro.matching.saturation import SaturationConfig
@@ -70,6 +77,7 @@ ORACLE_STRATEGY = "strategies"
 ORACLE_MATCHING = "matching"
 ORACLE_BRUTE = "bruteforce"
 ORACLE_STOCHASTIC = "stochastic"
+ORACLE_CROSS = "cross-target"
 ORACLE_CRASH = "crash"
 
 ALL_ORACLES = (
@@ -80,6 +88,7 @@ ALL_ORACLES = (
     ORACLE_MATCHING,
     ORACLE_BRUTE,
     ORACLE_STOCHASTIC,
+    ORACLE_CROSS,
 )
 
 
@@ -92,6 +101,10 @@ class OracleOptions:
     max_enodes: int = 3000
     verify_trials: int = 12
     oracles: Tuple[str, ...] = ALL_ORACLES
+    # The target every single-target oracle compiles for, and the set the
+    # cross-target oracle sweeps (entries equal to ``target`` are skipped).
+    target: str = "ev6"
+    cross_targets: Tuple[str, ...] = ("ev6", "rv64")
     # Brute-force eligibility / effort bounds.
     brute_max_ops: int = 3
     brute_max_inputs: int = 2
@@ -113,6 +126,8 @@ class OracleOptions:
             max_enodes=self.max_enodes,
             verify_trials=self.verify_trials,
             oracles=(oracle,),
+            target=self.target,
+            cross_targets=self.cross_targets,
             brute_max_ops=self.brute_max_ops,
             brute_max_inputs=self.brute_max_inputs,
             brute_max_sequences=self.brute_max_sequences,
@@ -202,9 +217,10 @@ def _compile_path(
     incremental_match: bool = True,
     extraction: str = "greedy",
     label: str = "",
+    spec: Optional[ArchSpec] = None,
 ) -> CompilationResult:
     den = Denali(
-        ev6(),
+        spec if spec is not None else get_target(options.target).spec(),
         axioms=axioms,
         registry=registry,
         config=_make_config(
@@ -388,6 +404,7 @@ def _check_stochastic(
     label: str,
     seed: int,
     source: str,
+    spec: Optional[ArchSpec] = None,
 ) -> None:
     """The sampler must never report a wrong answer or a false cycle claim.
 
@@ -407,11 +424,13 @@ def _check_stochastic(
     from repro.stochastic.backend import StochasticProbe, supports_gma
     from repro.stochastic.search import StochasticConfig
 
+    if spec is None:
+        spec = get_target(options.target).spec()
     if supports_gma(gma) is not None:
         return  # out of the sampler's scope (guards / memory)
     probe = StochasticProbe(
         gma,
-        ev6(),
+        spec,
         registry,
         axioms.definitions(),
         config=StochasticConfig(
@@ -435,7 +454,7 @@ def _check_stochastic(
                    % "; ".join(check.failures[:3]),
         ))
         return
-    timing = simulate_timing(outcome.schedule, ev6())
+    timing = simulate_timing(outcome.schedule, spec)
     claimed = max(1, outcome.schedule.cycles)
     if not timing.ok or outcome.cycles != claimed:
         report.divergences.append(Divergence(
@@ -468,6 +487,83 @@ def _check_stochastic(
                        % (outcome.cycles, base.cycles,
                           "; ".join(recheck.failures[:3]),
                           outcome.schedule.render()),
+            ))
+
+
+# -- the cross-target oracle ---------------------------------------------------
+
+
+def _check_cross_target(
+    report: CaseReport,
+    gma: GMA,
+    base: CompilationResult,
+    registry: OperatorRegistry,
+    program_axioms,
+    options: OracleOptions,
+    label: str,
+    seed: Optional[int],
+    source: str,
+) -> None:
+    """Every cross target's compile must agree with the shared evaluator.
+
+    The reference evaluator is target-independent, so asm-vs-eval on
+    each target transitively proves the targets agree with each other on
+    every tested input.  Cycle counts are *not* compared — the machines
+    differ — and a GMA only one target can schedule is skipped (ISA
+    expressiveness differs legitimately).
+    """
+    from repro.core import cache as _cache
+    from repro.sim.timing import simulate_timing
+
+    home = get_target(options.target).name
+    for name in options.cross_targets:
+        target = get_target(name)
+        if target.name == home:
+            continue
+        axioms = _cache.global_axiom_cache().default_corpus(
+            registry, target.name
+        )
+        if program_axioms:
+            from repro.axioms import AxiomSet
+
+            axioms = axioms + AxiomSet(program_axioms, "program")
+        spec = target.spec()
+        try:
+            other = _compile_path(
+                gma, registry, axioms, options, label=label, spec=spec
+            )
+        except Exception as exc:
+            report.divergences.append(Divergence(
+                oracle=ORACLE_CROSS, label=label, seed=seed, source=source,
+                detail="%s compile crashed: %s: %s"
+                       % (target.name, type(exc).__name__, exc),
+            ))
+            continue
+        if base.schedule is None or other.schedule is None:
+            continue  # feasibility may differ across ISAs: inconclusive
+        report.count(ORACLE_CROSS)
+        check = check_schedule(
+            gma, other.schedule, registry,
+            trials=options.verify_trials,
+            definitions=axioms.definitions(),
+        )
+        if not check.passed:
+            report.divergences.append(Divergence(
+                oracle=ORACLE_CROSS, label=label, seed=seed, source=source,
+                detail="%s assembly disagrees with the reference evaluator "
+                       "(which the %s assembly matches): %s\n%s"
+                       % (target.name, home,
+                          "; ".join(check.failures[:3]),
+                          other.schedule.render()),
+            ))
+            continue
+        timing = simulate_timing(other.schedule, spec)
+        if not timing.ok:
+            report.divergences.append(Divergence(
+                oracle=ORACLE_CROSS, label=label, seed=seed, source=source,
+                detail="%s schedule violates its own machine model: %s\n%s"
+                       % (target.name, "; ".join(timing.violations[:3]),
+                          other.schedule.render()),
             ))
 
 
@@ -612,7 +708,11 @@ def _check_case_inner(
     from repro.axioms import AxiomSet
     from repro.core import cache as _cache
 
-    axioms = _cache.global_axiom_cache().default_corpus(registry)
+    target = get_target(options.target)
+    spec = target.spec()
+    axioms = _cache.global_axiom_cache().default_corpus(
+        registry, target.name
+    )
     if program.axioms:
         axioms = axioms + AxiomSet(program.axioms, "program")
 
@@ -620,7 +720,7 @@ def _check_case_inner(
     for label, gma in gmas:
         try:
             base = _compile_path(
-                gma, registry, axioms, options, label=label
+                gma, registry, axioms, options, label=label, spec=spec
             )
         except Exception as exc:
             report.divergences.append(Divergence(
@@ -649,7 +749,7 @@ def _check_case_inner(
             try:
                 scratch = _compile_path(
                     gma, registry, axioms, options,
-                    incremental=False, label=label,
+                    incremental=False, label=label, spec=spec,
                 )
             except Exception as exc:
                 report.divergences.append(Divergence(
@@ -688,7 +788,7 @@ def _check_case_inner(
                 try:
                     other = _compile_path(
                         gma, registry, axioms, options,
-                        strategy=strategy, label=label,
+                        strategy=strategy, label=label, spec=spec,
                     )
                 except Exception as exc:
                     report.divergences.append(Divergence(
@@ -712,7 +812,7 @@ def _check_case_inner(
             try:
                 naive = _compile_path(
                     gma, registry, axioms, options,
-                    incremental_match=False, label=label,
+                    incremental_match=False, label=label, spec=spec,
                 )
             except Exception as exc:
                 report.divergences.append(Divergence(
@@ -751,12 +851,26 @@ def _check_case_inner(
             try:
                 _check_stochastic(
                     report, gma, base, registry, axioms, options, label,
-                    seed if seed is not None else 0, source,
+                    seed if seed is not None else 0, source, spec=spec,
                 )
             except Exception as exc:
                 report.divergences.append(Divergence(
                     oracle=ORACLE_STOCHASTIC, label=label, seed=seed,
                     source=source,
                     detail="stochastic oracle crashed: %s: %s"
+                           % (type(exc).__name__, exc),
+                ))
+
+        if options.wants(ORACLE_CROSS):
+            try:
+                _check_cross_target(
+                    report, gma, base, registry, program.axioms, options,
+                    label, seed, source,
+                )
+            except Exception as exc:
+                report.divergences.append(Divergence(
+                    oracle=ORACLE_CROSS, label=label, seed=seed,
+                    source=source,
+                    detail="cross-target oracle crashed: %s: %s"
                            % (type(exc).__name__, exc),
                 ))

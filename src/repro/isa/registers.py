@@ -1,15 +1,45 @@
-"""Alpha integer register conventions and a simple allocator.
+"""Per-target register conventions and a simple allocator.
 
 The paper's prototype "ignores register allocation"; like it, we assign a
-fresh register to every computed value, following the Alpha calling
-convention for inputs ($16-$21 are argument registers, $0 the return value,
-$31 reads as zero) and drawing temporaries from the caller-saved pool.
+fresh register to every computed value, following each target's calling
+convention for inputs and drawing temporaries from the caller-saved pool.
 The extractor prints the resulting "Register Map" comment of Figure 4.
+
+Conventions are bundled per target in :class:`RegisterConventions` (the
+Alpha constants below remain as module-level aliases for compatibility
+with pre-multi-target callers).  Every layer that needs register names —
+the extractor, the move sequentializer, the baseline compiler, the
+stochastic seed lowering — reads them off the active
+:class:`~repro.isa.spec.ArchSpec`'s ``regs`` field rather than these
+globals, which is what lets a second ISA reuse the whole pipeline.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RegisterConventions:
+    """The register names one target's emitted assembly draws from.
+
+    Attributes:
+        name: convention family ("alpha", "rv64", ...).
+        input_registers: registers GMA inputs bind to, in binding order
+            (argument registers first, then callee-saved spill names).
+        temp_registers: caller-saved pool for computed values, in
+            allocation order.
+        zero_register: the always-zero architectural register.
+        return_register: where a procedure's scalar result lives.
+    """
+
+    name: str
+    input_registers: Tuple[str, ...]
+    temp_registers: Tuple[str, ...]
+    zero_register: str
+    return_register: str
+
 
 ARG_REGISTERS = ["$16", "$17", "$18", "$19", "$20", "$21"]
 # Inputs beyond the six argument registers spill into callee-saved
@@ -25,11 +55,48 @@ TEMP_REGISTERS = [
     "$22", "$23", "$24", "$25", "$27", "$28",
 ]
 
+ALPHA_CONVENTIONS = RegisterConventions(
+    name="alpha",
+    input_registers=tuple(INPUT_REGISTERS),
+    temp_registers=tuple(TEMP_REGISTERS),
+    zero_register=ZERO_REGISTER,
+    return_register=RETURN_REGISTER,
+)
+
+# RISC-V RV64 integer calling convention: a0-a7 carry arguments, extra
+# live-in values spill into the callee-saved s-registers, x0 ("zero")
+# reads as zero, and t0-t6 (plus the high s-registers the inputs do not
+# claim) serve as the temporary pool.
+RV64_CONVENTIONS = RegisterConventions(
+    name="rv64",
+    input_registers=(
+        "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+        "s2", "s3", "s4", "s5", "s6",
+    ),
+    temp_registers=(
+        "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+        "s7", "s8", "s9", "s10", "s11", "s1", "s0",
+    ),
+    zero_register="zero",
+    return_register="a0",
+)
+
+# Every zero-register name across the known conventions; the functional
+# machine model keys its reads-as-zero / writes-discarded behaviour on
+# membership here (no target uses another target's names as real
+# registers, so a flat set is unambiguous).
+ZERO_REGISTER_NAMES = frozenset({ZERO_REGISTER, RV64_CONVENTIONS.zero_register})
+
 
 class RegisterFile:
     """Assigns registers to named inputs and fresh temporaries to values."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, conventions: Optional[RegisterConventions] = None
+    ) -> None:
+        self.conventions = (
+            conventions if conventions is not None else ALPHA_CONVENTIONS
+        )
         self._inputs: Dict[str, str] = {}
         self._next_arg = 0
         self._next_temp = 0
@@ -39,9 +106,10 @@ class RegisterFile:
         if name in self._inputs:
             return self._inputs[name]
         if register is None:
-            if self._next_arg >= len(INPUT_REGISTERS):
+            pool = self.conventions.input_registers
+            if self._next_arg >= len(pool):
                 raise ValueError("too many register arguments")
-            register = INPUT_REGISTERS[self._next_arg]
+            register = pool[self._next_arg]
             self._next_arg += 1
         self._inputs[name] = register
         return register
@@ -53,14 +121,15 @@ class RegisterFile:
             raise KeyError("input %r has no register binding" % name)
 
     def fresh_temp(self) -> str:
-        if self._next_temp >= len(TEMP_REGISTERS):
+        pool = self.conventions.temp_registers
+        if self._next_temp >= len(pool):
             raise ValueError("out of temporary registers")
-        reg = TEMP_REGISTERS[self._next_temp]
+        reg = pool[self._next_temp]
         self._next_temp += 1
         return reg
 
     def register_map(self) -> Dict[str, str]:
         """The Figure 4-style map of names to registers."""
         out = dict(self._inputs)
-        out["0"] = ZERO_REGISTER
+        out["0"] = self.conventions.zero_register
         return out

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.isa.registers import ALPHA_CONVENTIONS, RegisterConventions
 
 
 @dataclass(frozen=True)
@@ -46,8 +48,13 @@ class ArchSpec:
     instructions: Dict[str, InstructionInfo]
     imm_lo: int = 0
     imm_hi: int = 255
+    # Register conventions the emitted assembly draws from.  Defaults to
+    # the Alpha names so pre-multi-target ArchSpec literals keep working.
+    regs: Optional[RegisterConventions] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        if self.regs is None:
+            self.regs = ALPHA_CONVENTIONS
         for unit in self.units:
             if unit not in self.clusters:
                 raise ValueError("unit %r has no cluster assignment" % unit)

@@ -67,6 +67,7 @@ class JobSpec:
     miss_latency: int = 12
     incremental: bool = True  # persistent solver across the probe ladder
     incremental_match: bool = True  # dirty-cone matching during saturation
+    axiom_tiers: bool = False  # tiered (cheap-first) axiom scheduling
     backend: str = "sat"  # "sat" | "stochastic" | "race"
     extraction: str = "greedy"  # "greedy" | "exact" schedule selection
     seed: int = 0  # session seed (stochastic chains + verifier trials)
@@ -108,6 +109,7 @@ _SEMANTIC_FIELDS = (
     "miss_latency",
     "incremental",
     "incremental_match",
+    "axiom_tiers",
     "backend",
     "extraction",
     "seed",
@@ -134,11 +136,12 @@ def job_fingerprint(spec: JobSpec) -> str:
     return digest[:32]
 
 
-def default_corpus_key() -> str:
-    """Store key of the compiled built-in axiom corpus.
+def default_corpus_key(target: str = "ev6") -> str:
+    """Store key of the compiled built-in axiom corpus for ``target``.
 
-    Version- and registry-fingerprinted, so a fabric node never preloads
-    a corpus compiled by an incompatible peer.
+    Version-, registry- and target-fingerprinted, so a fabric node never
+    preloads a corpus compiled by an incompatible peer, and an rv64
+    corpus never shadows an ev6 one.
     """
     from repro import __version__
     from repro.core.cache import registry_fingerprint
@@ -147,7 +150,7 @@ def default_corpus_key() -> str:
     digest = hashlib.sha256(
         repr(registry_fingerprint(default_registry())).encode("utf-8")
     ).hexdigest()
-    return "default:%s:%s" % (__version__, digest[:16])
+    return "default:%s:%s:%s" % (__version__, target, digest[:16])
 
 
 # -- worker-side execution -----------------------------------------------------
@@ -167,15 +170,13 @@ def run_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def _build_spec(spec: JobSpec):
-    from repro.isa import ev6, itanium_like, simple_risc
+    from repro.isa.targets import get_target
 
-    if spec.arch == "ev6":
-        return ev6(load_latency=spec.load_latency)
-    if spec.arch == "itanium":
-        return itanium_like()
-    if spec.arch == "simple":
-        return simple_risc()
-    raise JobError("unknown arch %r" % spec.arch)
+    try:
+        target = get_target(spec.arch)
+    except KeyError:
+        raise JobError("unknown arch %r" % spec.arch)
+    return target.spec(load_latency=spec.load_latency)
 
 
 def _compile(spec: JobSpec) -> Dict[str, Any]:
@@ -195,11 +196,18 @@ def _compile(spec: JobSpec) -> Dict[str, Any]:
     if spec.proc is not None:
         procedures = [program.procedure(spec.proc)]
 
-    corpus = _cache.global_axiom_cache().default_corpus(program.registry)
+    arch_spec = _build_spec(spec)
+    from repro.isa.targets import target_for_spec
+
+    target = target_for_spec(arch_spec)
+    corpus = _cache.global_axiom_cache().default_corpus(
+        program.registry, target
+    )
     axioms = corpus + AxiomSet(program.axioms, "program")
     from repro.stochastic.search import StochasticConfig
 
     config = DenaliConfig(
+        target=target,
         min_cycles=spec.min_cycles,
         max_cycles=spec.max_cycles,
         strategy=SearchStrategy(spec.strategy),
@@ -218,10 +226,11 @@ def _compile(spec: JobSpec) -> Dict[str, Any]:
             max_rounds=spec.max_rounds,
             max_enodes=spec.max_enodes,
             incremental_match=spec.incremental_match,
+            axiom_tiers=spec.axiom_tiers,
         ),
     )
     den = Denali(
-        _build_spec(spec), axioms=axioms, registry=program.registry,
+        arch_spec, axioms=axioms, registry=program.registry,
         config=config,
     )
 
@@ -272,6 +281,7 @@ def _compile(spec: JobSpec) -> Dict[str, Any]:
         "ok": ok,
         "kind": "compile",
         "name": spec.name,
+        "target": target,
         "units": units,
         "stats": aggregate_stats(collected),
         "elapsed_seconds": round(time.perf_counter() - start, 6),
@@ -315,6 +325,16 @@ class _JobRecord:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+
+
+def _canonical_target(arch: str) -> str:
+    """The canonical target name of a job's ``arch`` (identity fallback)."""
+    from repro.isa.targets import get_target
+
+    try:
+        return get_target(arch).name
+    except KeyError:
+        return arch
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
@@ -371,6 +391,10 @@ class CompilationEngine:
             "matches_pruned": 0,
         }
         self._saturation_budget_hits: Dict[str, int] = {}
+        # Per-target job aggregates over compile jobs (the "targets"
+        # block of /v1/metrics).  Keys are canonical target names; a
+        # store hit counts under ``cache_hits`` without compiling.
+        self._target_totals: Dict[str, Dict[str, int]] = {}
         # Which engine produced each kept schedule, over completed compile
         # jobs; ``cache_hit`` counts submissions served straight from the
         # result store without compiling at all.
@@ -416,22 +440,34 @@ class CompilationEngine:
 
     # -- warm start --------------------------------------------------------
 
-    def _corpus_key(self) -> str:
-        return default_corpus_key()
+    def _corpus_key(self, target: str = "ev6") -> str:
+        return default_corpus_key(target)
 
     def _warm_corpus(self) -> None:
+        """Warm the per-target axiom corpora from the store.
+
+        ``corpus_warmed`` is True only when *every* registered target's
+        corpus came out of the store; any target compiled locally is
+        written back so peers (and the next restart) can skip the work.
+        """
         from repro.core import cache as _cache
+        from repro.isa.targets import target_names
         from repro.terms.ops import default_registry
 
-        key = self._corpus_key()
-        corpus = self.store.corpus_get(key)
-        if corpus is not None:
-            _cache.global_axiom_cache().preload(default_registry(), corpus)
-            self.corpus_warmed = True
-            return
-        corpus = _cache.global_axiom_cache().default_corpus(default_registry())
-        self.store.corpus_put(key, corpus)
-        self.corpus_warmed = False
+        registry = default_registry()
+        warmed = True
+        for target in target_names():
+            key = self._corpus_key(target)
+            corpus = self.store.corpus_get(key)
+            if corpus is not None:
+                _cache.global_axiom_cache().preload(registry, corpus, target)
+                continue
+            warmed = False
+            corpus = _cache.global_axiom_cache().default_corpus(
+                registry, target
+            )
+            self.store.corpus_put(key, corpus)
+        self.corpus_warmed = warmed
 
     # -- submission --------------------------------------------------------
 
@@ -463,6 +499,9 @@ class CompilationEngine:
                     record.finished_at = time.time()
                     record.done.set()
                     self._backend_wins["cache_hit"] += 1
+                    self._target_bucket(
+                        _canonical_target(spec.arch)
+                    )["cache_hits"] += 1
                     return record.id
             self._inflight[fingerprint] = record.id
             record.attempts = 1
@@ -547,6 +586,13 @@ class CompilationEngine:
             timeout=spec.timeout_seconds or self.default_timeout,
         )
 
+    def _target_bucket(self, name: str) -> Dict[str, int]:
+        bucket = self._target_totals.get(name)
+        if bucket is None:
+            bucket = {"done": 0, "failed": 0, "cache_hits": 0, "units": 0}
+            self._target_totals[name] = bucket
+        return bucket
+
     def _finish_ok(
         self, record: _JobRecord, payload: Dict[str, Any], worker_id: int
     ) -> None:
@@ -587,6 +633,16 @@ class CompilationEngine:
             for key in ("solver_watch_compactions",
                         "solver_arena_compactions", "snapshot_copy_bytes"):
                 flat[key] += int(cache.get(key, 0) or 0)
+        if record.spec.kind == "compile":
+            target = None
+            if isinstance(payload, dict):
+                target = payload.get("target")
+            bucket = self._target_bucket(
+                target or _canonical_target(record.spec.arch)
+            )
+            bucket["done"] += 1
+            if isinstance(payload, dict):
+                bucket["units"] += len(payload.get("units") or ())
         if record.spec.kind == "compile" and payload.get("ok"):
             self.store.put(record.fingerprint, payload)
         self._inflight.pop(record.fingerprint, None)
@@ -595,6 +651,10 @@ class CompilationEngine:
     def _finish_failed(self, record: _JobRecord, error: str) -> None:
         record.state = JobState.FAILED
         record.error = error
+        if record.spec.kind == "compile":
+            self._target_bucket(
+                _canonical_target(record.spec.arch)
+            )["failed"] += 1
         record.finished_at = time.time()
         self._inflight.pop(record.fingerprint, None)
         record.done.set()
@@ -725,6 +785,10 @@ class CompilationEngine:
                     budget_hits=dict(self._saturation_budget_hits),
                 ),
                 "flat_cores": dict(self._flat_core_totals),
+                "targets": {
+                    name: dict(bucket)
+                    for name, bucket in sorted(self._target_totals.items())
+                },
                 "backends": dict(self._backend_wins),
                 "stochastic": dict(self._stochastic_totals),
             }

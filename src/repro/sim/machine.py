@@ -15,8 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.extraction import Schedule, ScheduledInstruction
-from repro.isa.registers import ZERO_REGISTER
+from repro.core.emit import Schedule, ScheduledInstruction
+from repro.isa.registers import ZERO_REGISTER_NAMES
 from repro.isa.spec import ArchSpec
 from repro.terms.ops import OperatorRegistry, default_registry
 from repro.terms.values import M64, Memory
@@ -34,15 +34,15 @@ class MachineState:
     memory: Memory = field(default_factory=Memory)
 
     def read(self, register: str):
-        if register == ZERO_REGISTER:
+        if register in ZERO_REGISTER_NAMES:
             return 0
         if register not in self.registers:
             raise ExecutionError("read of unwritten register %s" % register)
         return self.registers[register]
 
     def write(self, register: str, value) -> None:
-        if register == ZERO_REGISTER:
-            return  # writes to $31 are discarded on Alpha
+        if register in ZERO_REGISTER_NAMES:
+            return  # writes to $31/zero are hardwired-discarded
         if isinstance(value, int):
             value &= M64
         self.registers[register] = value

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.core.extraction import Schedule, ScheduledInstruction
+from repro.core.emit import Schedule, ScheduledInstruction
 from repro.isa.spec import ArchSpec
 
 

@@ -13,7 +13,7 @@ list scheduler.
 
 Only when the distance reaches zero does the model pay for precision:
 :meth:`CostModel.realize` runs the real list scheduler and register
-allocator to produce a :class:`~repro.core.extraction.Schedule` (validated
+allocator to produce a :class:`~repro.core.emit.Schedule` (validated
 on the timing simulator), and :meth:`CostModel.full_check` runs the
 differential checker.  A failed full check returns its counterexample,
 which the search loop folds back into the test vectors — the same
@@ -32,7 +32,7 @@ from repro.baselines.compiler import (
     list_schedule,
     schedule_from_placed,
 )
-from repro.core.extraction import Schedule
+from repro.core.emit import Schedule
 from repro.isa.allocator import AllocationError
 from repro.isa.spec import ArchSpec
 from repro.lang.gma import GMA

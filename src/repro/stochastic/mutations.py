@@ -105,6 +105,10 @@ def gma_literals(gma: GMA, spec: ArchSpec) -> Tuple[List[int], List[int]]:
     The sampler draws from ``hot`` with elevated probability — a goal's
     own constants (and their bit-lengths, shift-idiom material) are far
     more likely to appear in a good program than arbitrary immediates.
+    The default pool is clipped to the target's literal field and padded
+    with its boundary values (e.g. 1024/2047 for rv64's 12-bit I-type
+    immediates); on the Alpha this reproduces the historical 8-bit pool
+    exactly.
     """
     hot = set()
     for goal in gma.goal_terms():
@@ -114,7 +118,10 @@ def gma_literals(gma: GMA, spec: ArchSpec) -> Tuple[List[int], List[int]]:
                 hot.add(value)
                 if value:
                     hot.add(value.bit_length() - 1)
-    pool = set(_DEFAULT_LITERALS) | hot
+    pool = {v for v in _DEFAULT_LITERALS if spec.fits_immediate(v)} | hot
+    if spec.fits_immediate(spec.imm_hi):
+        pool.add(spec.imm_hi)
+        pool.add((spec.imm_hi + 1) >> 1)
     return sorted(pool), sorted(hot)
 
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.baselines.compiler import CompileError, lower_goals
-from repro.core.extraction import Schedule
+from repro.core.emit import Schedule
 from repro.isa.spec import ArchSpec
 from repro.lang.gma import GMA
 from repro.stochastic.cost import CostModel
@@ -353,10 +353,9 @@ def stochastic_search(
         # Bind every GMA input, whether or not a candidate reads it: the
         # checker feeds all inputs, and an unbound name is an execution
         # error even when the winning program eliminated its uses.
-        from repro.isa.registers import INPUT_REGISTERS
-
         input_registers = {
-            name: reg for name, reg in zip(inputs, INPUT_REGISTERS)
+            name: reg
+            for name, reg in zip(inputs, spec.regs.input_registers)
         }
 
     try:

@@ -6,7 +6,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.core.extraction import Schedule
+from repro.core.emit import Schedule
 from repro.lang.gma import GMA
 from repro.sim.machine import execute_schedule
 from repro.terms.evaluator import Evaluator

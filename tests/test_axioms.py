@@ -215,6 +215,36 @@ class TestAxiomSet:
 
         assert "add" not in ops(rhs)
 
+    def test_definitions_skip_mutual_recursion(self):
+        # cmovlt -> cmovge and cmovge -> cmovlt would expand forever;
+        # the axiom that closes the loop must lose (rv64 seed-0
+        # campaign regression: RecursionError in the baseline lowerer).
+        reg = default_registry()
+        axioms = parse_axiom_file(
+            r"""
+            (\axiom (forall (t x y) (pats (\cmovlt t x y))
+                (eq (\cmovlt t x y) (\cmovge t y x))))
+            (\axiom (forall (t x y) (pats (\cmovge t x y))
+                (eq (\cmovge t x y) (\cmovlt t y x))))
+            """,
+            reg,
+            name="loop",
+        )
+        defs = axioms.definitions()
+        assert "cmovlt" in defs
+        assert "cmovge" not in defs
+
+    def test_rv64_corpus_definitions_are_grounded(self):
+        # The target sublayer precedes the universal files, so the
+        # grounded mask-form cmov lowerings win over math's swap forms
+        # and every cmov definition bottoms out in machine arithmetic.
+        from repro.axioms import default_axiom_corpus
+
+        defs = default_axiom_corpus(default_registry(), "rv64").definitions()
+        assert defs["cmovlt"][1].op == "bis"
+        assert defs["cmoveq"][1].op == "bis"
+        assert defs["cmovge"][1].op == "cmovlt"  # one grounded hop away
+
 
 # ---------------------------------------------------------------------------
 # Soundness of the built-in axiom corpus

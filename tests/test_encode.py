@@ -7,7 +7,7 @@ decoded schedules; compare against known-infeasible budgets.
 
 import pytest
 
-from repro.core.extraction import extract_schedule
+from repro.core.emit import extract_schedule
 from repro.egraph import EGraph
 from repro.encode import EncodeError, EncodingOptions, encode_schedule
 from repro.isa import ev6, simple_risc

@@ -1,7 +1,7 @@
 """Tests for assembly rendering (the Figure 4 output format)."""
 
 
-from repro.core.extraction import Operand, Schedule, ScheduledInstruction
+from repro.core.emit import Operand, Schedule, ScheduledInstruction
 from repro.egraph.egraph import ENode
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.extraction import Operand, Schedule, ScheduledInstruction
+from repro.core.emit import Operand, Schedule, ScheduledInstruction
 from repro.egraph.egraph import ENode
 from repro.isa import ev6, simple_risc
 from repro.sim import (

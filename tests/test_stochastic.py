@@ -400,7 +400,7 @@ class TestCheckerCounterexamples:
         sabotaged = res.schedule
         instr = sabotaged.instructions[0]
         # Break a literal operand so the schedule computes the wrong value.
-        from repro.core.extraction import Operand
+        from repro.core.emit import Operand
 
         for i, op in enumerate(instr.operands):
             if op.literal is not None:

@@ -16,7 +16,7 @@ from repro import (
     mk,
     simple_risc,
 )
-from repro.core.extraction import Operand
+from repro.core.emit import Operand
 from repro.matching import SaturationConfig
 from repro.terms import Sort
 
